@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The expensive
+inputs — the 22 synthetic workload matrices and the per-variant performance
+reports — are shared through a session-scoped :class:`ExperimentContext` so
+that the full benchmark suite runs in a couple of minutes.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.runner import ExperimentContext  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The full 22-workload experiment context (shared across benchmarks)."""
+    return ExperimentContext.full()
+
+
+@pytest.fixture(scope="session")
+def run_once():
+    """Fixture providing a helper that runs a callable once under benchmark timing."""
+
+    def _run(benchmark, func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Fig. 1: occupancy of fixed uniform-shape tiles."""
+
+from repro.experiments import fig1
+
+
+def test_fig1_occupancy_distribution(benchmark, context, run_once):
+    result = run_once(benchmark, fig1.run, context)
+    print("\n" + fig1.format_result(result))
+    # The paper's headline observations: the uncompressed tile size dwarfs the
+    # worst-case occupancy, and the worst case dwarfs the typical tile.
+    assert result.size_to_max_ratio > 10.0
+    assert result.max_occupancy > result.p90_occupancy
+    assert result.p90_occupancy >= result.mean_occupancy * 0.5

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figs. 3/5: Tailors vs. buffet on an overbooked tile."""
+
+from repro.experiments import fig5
+
+
+def test_fig5_tailors_trace(benchmark, run_once):
+    result = run_once(benchmark, fig5.run)
+    print("\n" + fig5.format_result(result))
+    # Tailors must fetch strictly less than the buffet for an overbooked tile.
+    assert result.tailors_report.parent_fetches < result.buffet_report.parent_fetches
+    assert result.fetch_savings > 1.0
+    # The trace ends with the head of the tile (a, b) still resident.
+    final_contents = result.trace[-1].contents
+    assert "a" in final_contents and "b" in final_contents

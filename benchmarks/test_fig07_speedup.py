@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 7: speedup over ExTensor-N across the suite."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_speedup(benchmark, context, run_once):
+    result = run_once(benchmark, fig7.run, context)
+    print("\n" + fig7.format_result(result))
+    assert len(result.rows) == 22
+    # Shape of the paper's result: both sparsity-aware variants beat the naive
+    # design by a large factor, and overbooking beats prescient tiling overall.
+    assert result.geomean_prescient > 5.0
+    assert result.geomean_overbooking > 5.0
+    assert result.geomean_overbooking_vs_prescient > 1.2

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Fig. 8: energy relative to ExTensor-N."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_energy(benchmark, context, run_once):
+    result = run_once(benchmark, fig8.run, context)
+    print("\n" + fig8.format_result(result))
+    assert len(result.rows) == 22
+    # Shape of the paper's result: large energy savings over ExTensor-N, and
+    # overbooking more efficient than prescient tiling on average.
+    assert result.geomean_prescient > 5.0
+    assert result.geomean_overbooking > 5.0
+    assert result.geomean_overbooking_vs_prescient > 1.1

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Fig. 9: streaming overhead and data reuse."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_overhead_and_reuse(benchmark, context, run_once):
+    result = run_once(benchmark, fig9.run, context)
+    print("\n" + fig9.format_result(result))
+    assert len(result.rows) == 22
+    # Overbooking costs some extra DRAM traffic but not an unbounded amount.
+    assert 0.0 <= result.mean_overhead < 0.6
+    # Fig. 9b: data reuse and bumped data are strongly negatively correlated.
+    assert result.reuse_bumped_correlation < -0.5
+    for row in result.rows:
+        assert 0.0 <= row.data_reuse_fraction <= 1.0
+        assert 0.0 <= row.bumped_fraction <= 1.0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 10: ExTensor-OB speedup over ExTensor-P vs. y."""
+
+from repro.experiments import fig10
+
+#: A representative subset spanning the structure classes, to keep the sweep
+#: (11 y values × workloads × 2 levels of tiling) within benchmark budget.
+SWEEP_WORKLOADS = [
+    "rma10", "pwtk", "mc2depi", "pdb1HYS",
+    "email-Enron", "soc-Epinions1", "amazon0312", "roadNet-CA",
+]
+
+
+def test_fig10_y_sweep(benchmark, context, run_once):
+    result = run_once(benchmark, fig10.run, context, workloads=SWEEP_WORKLOADS)
+    print("\n" + fig10.format_result(result))
+    assert len(result.speedups) == len(result.y_values)
+    # The paper's shape: moderate y beats both extremes on average.
+    moderate = max(result.speedup_at(0.10), result.speedup_at(0.22))
+    assert moderate >= result.speedup_at(0.0)
+    assert moderate >= result.speedup_at(1.0) * 0.95

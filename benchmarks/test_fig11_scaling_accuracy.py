@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 11: overbooking rate, initial estimate vs. Swiftiles."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_scaling_accuracy(benchmark, context, run_once):
+    result = run_once(benchmark, fig11.run, context)
+    print("\n" + fig11.format_result(result))
+    assert len(result.rows) == 22
+    # Swiftiles' scaling step must reduce the error of the raw initial
+    # estimate (the paper: MAE 15.6% -> 5.8%).
+    assert result.mae_swiftiles < result.mae_initial
+    # And the mean achieved rate must be closer to the 10% target.
+    assert abs(result.mean_swiftiles_rate - result.target) <= abs(
+        result.mean_initial_rate - result.target)

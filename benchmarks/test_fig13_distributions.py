@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 13: occupancy distributions under Swiftiles scaling."""
+
+from repro.experiments import fig13
+
+
+def test_fig13_distributions(benchmark, context, run_once):
+    result = run_once(benchmark, fig13.run, context)
+    print("\n" + fig13.format_result(result))
+    # After scaling, the predicted y-quantile occupancy must sit at the buffer
+    # capacity (that is the definition of the scaling step) ...
+    assert abs(result.predicted_quantile - result.buffer_capacity) / result.buffer_capacity < 0.05
+    # ... and the observed distribution should be reasonably aligned with it.
+    assert result.prediction_alignment < 0.5
+    # CDF columns are monotonically non-decreasing.
+    for column in range(1, 4):
+        values = [point[column] for point in result.cdf_points]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

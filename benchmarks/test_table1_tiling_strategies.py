@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 1: tiling-strategy utilization vs. tax."""
+
+from repro.experiments import table1
+
+
+def test_table1_tiling_strategies(benchmark, context, run_once):
+    result = run_once(benchmark, table1.run, context)
+    print("\n" + table1.format_result(result))
+    # The qualitative ordering of Table 1 must hold on the measured data.
+    uniform = result.row("uniform shape")
+    prescient = result.row("prescient uniform shape")
+    overbooking = result.row("overbooking (this work)")
+    assert uniform.mean_buffer_utilization < prescient.mean_buffer_utilization
+    assert overbooking.mean_buffer_utilization >= prescient.mean_buffer_utilization * 0.8
+    assert overbooking.mean_tiling_tax < prescient.mean_tiling_tax
+    assert uniform.mean_tiling_tax == 0.0

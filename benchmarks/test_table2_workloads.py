@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 2: workload characteristics."""
+
+from repro.experiments import table2
+
+
+def test_table2_workload_characteristics(benchmark, context, run_once):
+    result = run_once(benchmark, table2.run, context)
+    print("\n" + table2.format_result(result))
+    assert len(result.rows) == 22
+    # Sorted into the paper's two halves: linear systems first, graphs second.
+    categories = [row.category for row in result.rows]
+    assert categories[:9] == ["linear-system"] * 9
+    assert categories[9:] == ["graph"] * 13
+    # Every synthetic workload is genuinely sparse.
+    assert all(row.sparsity > 0.95 for row in result.rows)

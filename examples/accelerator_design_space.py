@@ -1,0 +1,49 @@
+"""Design-space exploration: how buffer capacity and y interact.
+
+Sweeps the global-buffer capacity and the Swiftiles overbooking target for one
+skewed workload and prints the resulting speedup of ExTensor-OB over
+ExTensor-P — the kind of what-if study a designer adopting overbooking would
+run before fixing the buffer size.
+
+Run with::
+
+    python examples/accelerator_design_space.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AcceleratorVariant, ExTensorModel, WorkloadDescriptor, scaled_default_config
+from repro.tensor.generators import power_law_matrix
+
+CAPACITIES = (2048, 4096, 8192, 16384)
+TARGETS = (0.0, 0.10, 0.25, 0.50)
+
+
+def main() -> None:
+    matrix = power_law_matrix(8000, 80_000, alpha=1.5, rng=9, name="design-space-graph")
+    workload = WorkloadDescriptor.gram(matrix)
+    print(f"workload: {matrix.name}, nnz {matrix.nnz}\n")
+
+    header = "GLB capacity | " + " | ".join(f"y={y:4.0%}" for y in TARGETS)
+    print(header)
+    print("-" * len(header))
+    for capacity in CAPACITIES:
+        config = scaled_default_config().with_overrides(glb_capacity_words=capacity)
+        model = ExTensorModel(config)
+        prescient = model.evaluate_variant(workload, AcceleratorVariant.prescient())
+        cells = []
+        for y in TARGETS:
+            variant = AcceleratorVariant.overbooking(overbooking_target=y)
+            report = model.evaluate_variant(workload, variant)
+            cells.append(f"{prescient.cycles / report.cycles:6.2f}x")
+        print(f"{capacity:12d} | " + " | ".join(cells))
+
+    print("\nLarger buffers need less overbooking; small buffers gain the most "
+          "from speculative tiles (speedups are ExTensor-OB over ExTensor-P).")
+
+
+if __name__ == "__main__":
+    main()

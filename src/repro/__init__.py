@@ -1,0 +1,58 @@
+"""repro — a reproduction of *Tailors: Accelerating Sparse Tensor Algebra by
+Overbooking Buffer Capacity* (MICRO 2023).
+
+The package is organized as:
+
+* :mod:`repro.tensor` — sparse tensor substrate (formats, generators, the
+  synthetic evaluation suite).
+* :mod:`repro.tiling` — coordinate-space and position-space tiling baselines.
+* :mod:`repro.buffers` — EDDO storage idioms (FIFO, buffets, caches).
+* :mod:`repro.core` — the paper's contribution: Tailors, Swiftiles, the
+  overbooking tiler, and reuse accounting.
+* :mod:`repro.accelerator`, :mod:`repro.model`, :mod:`repro.energy` — the
+  ExTensor-like accelerator, the Sparseloop-like analytical engine and the
+  Accelergy-like energy model.
+* :mod:`repro.experiments` — regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import ExTensorModel, default_suite
+
+    suite = default_suite()
+    model = ExTensorModel()
+    reports = model.evaluate_matrix(suite.matrix("roadNet-CA"))
+    print(reports["ExTensor-OB"].speedup_over(reports["ExTensor-N"]))
+"""
+
+from repro.accelerator.config import ArchitectureConfig, paper_extensor_config, scaled_default_config
+from repro.accelerator.extensor import AcceleratorVariant, ExTensorModel, default_variants
+from repro.core.overbooking import NaiveTiler, OverbookingTiler, PrescientTiler
+from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.core.tailors import Tailors, TailorsConfig
+from repro.model.workload import WorkloadDescriptor
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureConfig",
+    "paper_extensor_config",
+    "scaled_default_config",
+    "AcceleratorVariant",
+    "ExTensorModel",
+    "default_variants",
+    "NaiveTiler",
+    "PrescientTiler",
+    "OverbookingTiler",
+    "Swiftiles",
+    "SwiftilesConfig",
+    "Tailors",
+    "TailorsConfig",
+    "WorkloadDescriptor",
+    "SparseMatrix",
+    "WorkloadSuite",
+    "default_suite",
+    "small_suite",
+    "__version__",
+]

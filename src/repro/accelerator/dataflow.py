@@ -1,0 +1,82 @@
+"""The evaluated ExTensor dataflow and its tile-pass bookkeeping.
+
+The performance model only needs a handful of facts about the dataflow:
+
+* A is the *stationary* operand at the global buffer: a tile of A stays
+  resident while every tile of B is streamed past it;
+* tiles are coordinate-space row blocks of A (expand along the shared K
+  dimension to its full extent first, then along M) and, symmetrically,
+  column blocks of B — for ``B = Aᵀ`` these have the same occupancy
+  distribution as row blocks of A;
+* the same structure repeats one level down: an A subtile is stationary in a
+  PE buffer while B subtiles stream from the global buffer.
+
+:class:`DataflowSpec` carries those facts plus the loop-nest description so
+reports can print the dataflow being modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class DataflowSpec:
+    """Description of a two-operand, two-level tiled dataflow.
+
+    Attributes
+    ----------
+    name:
+        Dataflow name for reports.
+    stationary_operand:
+        Which operand stays resident at the global buffer (``"A"`` or ``"B"``).
+    loop_order:
+        Loop indices from outermost to innermost (informational).
+    tile_expansion_order:
+        Per-operand order in which tile dimensions are grown (the paper:
+        K first to its full extent, then N for B, then M for A).
+    """
+
+    name: str
+    stationary_operand: str = "A"
+    loop_order: Tuple[str, ...] = ("m1", "n1", "k1", "m0", "n0", "k0")
+    tile_expansion_order: Tuple[str, ...] = ("K", "N", "M")
+
+    def __post_init__(self) -> None:
+        if self.stationary_operand not in ("A", "B"):
+            raise ValueError(
+                f"stationary_operand must be 'A' or 'B', got {self.stationary_operand!r}"
+            )
+
+    def stationary_passes(self, num_streaming_tiles: int) -> int:
+        """Number of scans of a resident stationary tile.
+
+        The stationary tile is re-scanned once per streaming-operand tile that
+        is matched against it, which is what determines how often the bumped
+        portion of an overbooked stationary tile must be re-streamed.
+        """
+        if num_streaming_tiles < 0:
+            raise ValueError("num_streaming_tiles must be non-negative")
+        return max(1, num_streaming_tiles)
+
+    def streaming_fetch_rounds(self, num_stationary_tiles: int) -> int:
+        """Number of times the full streaming operand is fetched from the parent.
+
+        With the stationary operand resident, the entire streaming operand is
+        re-fetched once per stationary tile — the quantity that larger
+        stationary tiles (and hence overbooking) reduce.
+        """
+        if num_stationary_tiles < 0:
+            raise ValueError("num_stationary_tiles must be non-negative")
+        return max(1, num_stationary_tiles)
+
+
+def extensor_dataflow() -> DataflowSpec:
+    """The dataflow of the evaluated ExTensor configuration."""
+    return DataflowSpec(
+        name="extensor-output-stationary",
+        stationary_operand="A",
+        loop_order=("m1", "n1", "k1", "m0", "n0", "k0"),
+        tile_expansion_order=("K", "N", "M"),
+    )

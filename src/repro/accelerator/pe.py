@@ -1,0 +1,65 @@
+"""Processing-element datapath model.
+
+Each ExTensor PE holds a subtile of the stationary operand in its local
+buffer, intersects coordinate streams, and performs one effectual
+multiply-accumulate per cycle.  The analytical model only needs aggregate
+throughput and per-action energies, so the PE model is a thin description
+object plus helpers for the compute-bound cycle estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A single PE's throughput characteristics.
+
+    Attributes
+    ----------
+    macs_per_cycle:
+        Effectual multiply-accumulates retired per cycle (1 for ExTensor).
+    intersections_per_cycle:
+        Coordinate comparisons per cycle performed by the intersection unit.
+    """
+
+    macs_per_cycle: float = 1.0
+    intersections_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.macs_per_cycle, "macs_per_cycle")
+        check_positive(self.intersections_per_cycle, "intersections_per_cycle")
+
+    def compute_cycles(self, effectual_multiplies: float) -> float:
+        """Cycles this PE needs for the given number of effectual multiplies."""
+        if effectual_multiplies < 0:
+            raise ValueError("effectual_multiplies must be non-negative")
+        return effectual_multiplies / self.macs_per_cycle
+
+
+@dataclass(frozen=True)
+class PEArray:
+    """An array of identical PEs with an ideal work distribution.
+
+    Load imbalance between PEs is modeled with a single derating factor: the
+    paper's evaluation (like Sparseloop's) assumes the dataflow distributes
+    nonzeros evenly enough that the array is compute-limited only on very
+    dense workloads, which the derating keeps approximately true.
+    """
+
+    num_pes: int
+    pe: ProcessingElement = ProcessingElement()
+    utilization: float = 0.85
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_pes, "num_pes")
+        if not 0 < self.utilization <= 1:
+            raise ValueError(f"utilization must be in (0, 1], got {self.utilization}")
+
+    def compute_cycles(self, effectual_multiplies: float) -> float:
+        """Cycles the array needs for the workload's effectual multiplies."""
+        per_pe = effectual_multiplies / self.num_pes
+        return self.pe.compute_cycles(per_pe) / self.utilization

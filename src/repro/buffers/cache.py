@@ -1,0 +1,75 @@
+"""A set-less LRU cache model.
+
+Section 2.3 of the paper notes that caches handle working sets larger than
+their capacity gracefully (an optimal replacement policy keeps whatever will
+be reused), but pay for it with tag matching and associativity hardware that
+domain-specific accelerators avoid.  The model here is used by ablation
+benchmarks to put Tailors' reuse between the two bounds:
+
+* a fully-associative LRU cache (this module) — an upper bound on flexibility;
+* a buffet that must drop the whole tile (the paper's baseline behaviour) — a
+  lower bound.
+
+The cache tracks hits/misses/evictions per key; keys are whatever hashable
+identifier the driver uses for a data word (e.g. ``(tile_id, element_index)``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.buffers.base import StorageIdiom
+
+
+class LruCache(StorageIdiom):
+    """Fully-associative cache with least-recently-used replacement."""
+
+    def __init__(self, capacity: int, name: str = "lru-cache"):
+        super().__init__(capacity=capacity, name=name)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is resident (does not update recency or counters)."""
+        return key in self._entries
+
+    def access(self, key: Hashable, value: Any = None) -> bool:
+        """Access ``key``; return True on a hit, False on a miss.
+
+        On a miss the key is installed (with ``value``), evicting the least
+        recently used entry if the cache is full.  Either way the key becomes
+        the most recently used entry.
+        """
+        self.counters.reads += 1
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        self.counters.misses += 1
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.counters.evictions += 1
+        self._entries[key] = value
+        self.counters.fills += 1
+        return False
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value for ``key`` (must be resident)."""
+        if key not in self._entries:
+            raise KeyError(f"{self.name}: {key!r} is not resident")
+        self._entries.move_to_end(key)
+        self.counters.reads += 1
+        return self._entries[key]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0 when nothing was accessed)."""
+        if self.counters.reads == 0:
+            return 0.0
+        return 1.0 - self.counters.misses / self.counters.reads

@@ -1,0 +1,79 @@
+"""Credit-based flow control between a buffer and its parent.
+
+Buffets synchronize fills and shrinks through credits (Section 3.2): the
+parent may push a fill only when it holds a credit, and every shrink releases
+as many credits as the number of freed slots.  The accelerator model uses the
+channel to check that a drive sequence never pushes more data than the child
+can accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+@dataclass
+class CreditChannel:
+    """A counter of free slots the parent is allowed to fill.
+
+    Parameters
+    ----------
+    initial_credits:
+        Number of credits available at reset — for an empty buffer this equals
+        its capacity.
+    """
+
+    initial_credits: int
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.initial_credits, "initial_credits")
+        self._credits = self.initial_credits
+        self._granted = 0
+        self._released = 0
+
+    @property
+    def available(self) -> int:
+        """Credits the parent currently holds."""
+        return self._credits
+
+    @property
+    def total_granted(self) -> int:
+        """Number of credits consumed over the lifetime of the channel."""
+        return self._granted
+
+    @property
+    def total_released(self) -> int:
+        """Number of credits released by shrinks over the lifetime."""
+        return self._released
+
+    def can_send(self, amount: int = 1) -> bool:
+        """Whether the parent may push ``amount`` more words."""
+        check_positive_int(amount, "amount")
+        return self._credits >= amount
+
+    def consume(self, amount: int = 1) -> None:
+        """Consume credits for a push of ``amount`` words."""
+        check_positive_int(amount, "amount")
+        if amount > self._credits:
+            raise ValueError(
+                f"cannot consume {amount} credits, only {self._credits} available"
+            )
+        self._credits -= amount
+        self._granted += amount
+
+    def release(self, amount: int = 1) -> None:
+        """Release credits after a shrink of ``amount`` words."""
+        check_non_negative_int(amount, "amount")
+        if self._credits + amount > self.initial_credits:
+            raise ValueError(
+                "credit release would exceed the channel's initial credits "
+                f"({self._credits} + {amount} > {self.initial_credits})"
+            )
+        self._credits += amount
+        self._released += amount
+
+    def reset(self) -> None:
+        """Restore the initial credit count (lifetime totals are kept)."""
+        self._credits = self.initial_credits

@@ -1,0 +1,57 @@
+"""A first-in/first-out buffer model.
+
+FIFOs are the cheapest EDDO storage idiom, but they restrict both the access
+order and the replacement policy to first-in/first-out (Section 3.2) — a
+consumer can only look at the head of the queue, which is unacceptable for
+tensor-algebra dataflows that revisit data within a tile.  The model exists
+for two reasons: it is the building block Tailors conceptually embeds at the
+tail of the buffer, and it provides a lower bound on storage-idiom complexity
+in the ablation experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.buffers.base import BufferFullError, BufferStallError, StorageIdiom
+
+
+class FifoBuffer(StorageIdiom):
+    """A bounded FIFO supporting ``push`` (fill) and ``pop`` (read + shrink)."""
+
+    def __init__(self, capacity: int, name: str = "fifo"):
+        super().__init__(capacity=capacity, name=name)
+        self._queue: Deque[Any] = deque()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue)
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+    def push(self, value: Any) -> None:
+        """Fill one word at the tail of the queue."""
+        if self.is_full:
+            raise BufferFullError(f"{self.name}: push into a full FIFO")
+        self._queue.append(value)
+        self.counters.fills += 1
+
+    def front(self) -> Any:
+        """Read the head of the queue without removing it."""
+        if not self._queue:
+            raise BufferStallError(f"{self.name}: front of an empty FIFO")
+        self.counters.reads += 1
+        return self._queue[0]
+
+    def pop(self) -> Any:
+        """Read and remove the head of the queue."""
+        if not self._queue:
+            raise BufferStallError(f"{self.name}: pop of an empty FIFO")
+        self.counters.reads += 1
+        self.counters.shrinks += 1
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)

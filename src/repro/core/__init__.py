@@ -1,0 +1,41 @@
+"""The paper's primary contribution: Tailors, Swiftiles, and overbooking.
+
+* :mod:`repro.core.tailors` — the Tail-Overbooked Buffer storage idiom
+  (Section 3): a buffet extended with an *overwriting fill* so that an
+  overbooked tile streams its bumped tail through a FIFO-managed region while
+  the head of the tile stays resident for reuse.
+* :mod:`repro.core.reuse` — trace-driven reuse accounting that compares
+  buffets, Tailors, and caches on overbooked tiles (Figs. 3 and 9b).
+* :mod:`repro.core.swiftiles` — the statistical tile-size selector
+  (Section 4): initial estimate, one-shot sampling, distribution scaling.
+* :mod:`repro.core.overbooking` — the end-to-end overbooking tiling strategy
+  that combines Swiftiles with the row-block CST construction used by the
+  evaluated ExTensor dataflow, alongside the naive and prescient tilers it is
+  compared against.
+"""
+
+from repro.core.tailors import Tailors, TailorsConfig
+from repro.core.reuse import ReuseReport, simulate_buffet_tile, simulate_tailors_tile, simulate_cache_tile
+from repro.core.swiftiles import SwiftilesConfig, SwiftilesEstimate, Swiftiles
+from repro.core.overbooking import (
+    NaiveTiler,
+    OverbookingTiler,
+    PrescientTiler,
+    TilerResult,
+)
+
+__all__ = [
+    "Tailors",
+    "TailorsConfig",
+    "ReuseReport",
+    "simulate_buffet_tile",
+    "simulate_tailors_tile",
+    "simulate_cache_tile",
+    "SwiftilesConfig",
+    "SwiftilesEstimate",
+    "Swiftiles",
+    "NaiveTiler",
+    "OverbookingTiler",
+    "PrescientTiler",
+    "TilerResult",
+]

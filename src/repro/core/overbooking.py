@@ -1,0 +1,145 @@
+"""The overbooking tiling strategy and the baselines it is compared against.
+
+A *tiler* turns (matrix, buffer capacity) into a concrete row-block
+coordinate-space tiling — the tile construction used by the evaluated
+ExTensor dataflow (expand along the shared K dimension to its full extent
+first, then along M).  Three tilers are provided, one per evaluated
+accelerator variant:
+
+* :class:`NaiveTiler` (ExTensor-N): assumes dense tiles, so a buffer of ``b``
+  words affords ``b / K`` rows.  Zero tiling tax, lowest utilization.
+* :class:`PrescientTiler` (ExTensor-P): the largest row-block whose *maximum
+  observed* occupancy fits the buffer.  Requires traversing the tensor for
+  every candidate size (recorded in the tiling tax).
+* :class:`OverbookingTiler` (ExTensor-OB): sizes the block with Swiftiles so
+  that roughly ``y`` of the tiles overbook the buffer; overbooked tiles are
+  handled by Tailors at runtime.
+
+All three share the :class:`TilerResult` interface consumed by the
+accelerator model and the experiment harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.swiftiles import Swiftiles, SwiftilesConfig, SwiftilesEstimate
+from repro.tensor.sparse import SparseMatrix
+from repro.tiling.base import Tiling, TilingTax
+from repro.tiling.coordinate import (
+    dense_row_block_rows,
+    prescient_row_block_rows,
+    row_block_tiling,
+)
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TilerResult:
+    """Outcome of applying a tiler to one operand.
+
+    Attributes
+    ----------
+    strategy:
+        Human-readable strategy name (matches the accelerator variant).
+    block_rows:
+        Rows per tile of the produced row-block tiling.
+    tile_size:
+        Coordinate-space tile size (``block_rows * num_cols``).
+    tiling:
+        The concrete tiling (per-tile occupancies and ranges).
+    tax:
+        Preprocessing/matching cost incurred to choose the tile size.
+    swiftiles:
+        The Swiftiles estimate when the overbooking tiler produced the result.
+    """
+
+    strategy: str
+    block_rows: int
+    tile_size: int
+    tiling: Tiling
+    tax: TilingTax
+    swiftiles: Optional[SwiftilesEstimate] = None
+
+    def overbooking_rate(self, capacity: int) -> float:
+        """Fraction of tiles that exceed ``capacity``."""
+        return self.tiling.overbooking_rate(capacity)
+
+    def buffer_utilization(self, capacity: int) -> float:
+        """Average utilization of a buffer of ``capacity`` over the tiles."""
+        return self.tiling.buffer_utilization(capacity)
+
+
+class NaiveTiler:
+    """ExTensor-N's tiling: uniform shape sized for the dense worst case."""
+
+    name = "uniform-shape (dense worst case)"
+
+    def __init__(self, *, min_block_rows: int = 1):
+        check_positive_int(min_block_rows, "min_block_rows")
+        self._min_block_rows = min_block_rows
+
+    def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
+        """Tile ``matrix`` for a buffer of ``capacity`` words, assuming density."""
+        check_positive_int(capacity, "capacity")
+        block_rows = max(self._min_block_rows,
+                         dense_row_block_rows(capacity, matrix.num_cols))
+        block_rows = min(block_rows, matrix.num_rows)
+        tiling = row_block_tiling(matrix, block_rows, strategy=self.name)
+        return TilerResult(
+            strategy=self.name,
+            block_rows=block_rows,
+            tile_size=block_rows * matrix.num_cols,
+            tiling=tiling,
+            tax=TilingTax(),
+        )
+
+
+class PrescientTiler:
+    """ExTensor-P's tiling: largest uniform shape whose worst tile still fits."""
+
+    name = "prescient uniform shape"
+
+    def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
+        """Tile ``matrix`` using full knowledge of per-tile occupancies."""
+        check_positive_int(capacity, "capacity")
+        block_rows, tax = prescient_row_block_rows(matrix, capacity)
+        block_rows = min(max(1, block_rows), matrix.num_rows)
+        tiling = row_block_tiling(matrix, block_rows, strategy=self.name, tax=tax)
+        return TilerResult(
+            strategy=self.name,
+            block_rows=block_rows,
+            tile_size=block_rows * matrix.num_cols,
+            tiling=tiling,
+            tax=tax,
+        )
+
+
+class OverbookingTiler:
+    """The paper's strategy: Swiftiles-sized tiles that may overbook the buffer."""
+
+    name = "overbooking (Swiftiles)"
+
+    def __init__(self, config: SwiftilesConfig | None = None, *, rng: RandomState = None):
+        self.config = config or SwiftilesConfig()
+        self._rng = rng
+
+    def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
+        """Tile ``matrix`` targeting ``config.overbooking_target`` overbooked tiles."""
+        check_positive_int(capacity, "capacity")
+        estimator = Swiftiles(self.config, rng=self._rng)
+        estimate = estimator.estimate(matrix, capacity)
+        block_rows = max(1, int(round(estimate.target_size / matrix.num_cols)))
+        block_rows = min(block_rows, matrix.num_rows)
+        tiling = row_block_tiling(matrix, block_rows, strategy=self.name,
+                                  tax=estimate.tax)
+        return TilerResult(
+            strategy=self.name,
+            block_rows=block_rows,
+            tile_size=block_rows * matrix.num_cols,
+            tiling=tiling,
+            tax=estimate.tax,
+            swiftiles=estimate,
+        )

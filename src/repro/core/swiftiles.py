@@ -1,0 +1,249 @@
+"""Swiftiles: statistical tile-size selection for overbooking (Section 4).
+
+Swiftiles picks a coordinate-space tile *size* such that approximately ``y``
+(a fraction) of the resulting tiles overbook a buffer of capacity ``b``.  It
+does so with a one-shot, sampling-based procedure whose cost is independent of
+the tensor size:
+
+1. **Initial estimate** (Eq. 2):  ``T_initial = b / (1 - s)`` where ``s`` is
+   the tensor's global sparsity.  This is the tile size whose *expected*
+   occupancy equals the buffer capacity, i.e. the 50%-overbooking point for a
+   uniformly sparse tensor.  It needs only the tensor shape and nnz.
+2. **Tile sampling**:  tile the tensor (conceptually) at ``T_initial`` and
+   sample ``ceil(k / y)`` tile occupancies at random, so that about ``k``
+   samples land in the top ``y`` quantile — enough to resolve the quantile the
+   next step scales against.
+3. **Distribution scaling** (Eq. 3):  find the occupancy ``Q_y`` that ``y`` of
+   the sampled tiles exceed and linearly rescale the tile size:
+   ``T_target = T_initial * b / Q_y``.  The linearity assumption — that tile
+   occupancies scale proportionally with tile size for modest size changes —
+   is evaluated in Fig. 11/Fig. 12 of the paper and by the corresponding
+   experiments in this repository.
+
+The tile "size" manipulated here is the uncompressed coordinate-space size
+(number of points).  How a size is turned into a concrete tile *shape* is the
+job of the dataflow-specific tiler in :mod:`repro.core.overbooking` (the
+evaluated ExTensor dataflow expands along the shared K dimension first, so a
+size maps to a number of rows of the stationary operand).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.sparse import SparseMatrix
+from repro.tiling.base import TilingTax
+from repro.tiling.stats import OccupancyStats
+from repro.utils.rng import RandomState, resolve_rng
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class SwiftilesConfig:
+    """Parameters of the Swiftiles estimator.
+
+    Attributes
+    ----------
+    overbooking_target:
+        The paper's ``y``: the desired fraction of tiles that overbook the
+        buffer.  The evaluation uses 0.10.
+    samples_in_tail:
+        The paper's ``k``: the number of samples expected to land in the top
+        ``y`` quantile.  The total number of sampled tiles is ``ceil(k / y)``.
+        The evaluation uses 10 (so 100 tiles are sampled at ``y = 10%``).
+    sample_all_tiles:
+        When true, every tile is measured instead of sampling — used by the
+        Fig. 11/12 experiments to isolate the scaling error from the sampling
+        error.
+    """
+
+    overbooking_target: float = 0.10
+    samples_in_tail: int = 10
+    sample_all_tiles: bool = False
+
+    def __post_init__(self) -> None:
+        check_fraction(self.overbooking_target, "overbooking_target",
+                       inclusive_low=True, inclusive_high=True)
+        check_positive_int(self.samples_in_tail, "samples_in_tail")
+
+    @property
+    def num_samples(self) -> int:
+        """Total number of tiles to sample (``ceil(k / y)``, at least ``k``)."""
+        if self.overbooking_target <= 0.0:
+            return self.samples_in_tail * 100
+        return int(math.ceil(self.samples_in_tail / self.overbooking_target))
+
+
+@dataclass(frozen=True)
+class SwiftilesEstimate:
+    """The outcome of one Swiftiles run.
+
+    Attributes
+    ----------
+    initial_size:
+        ``T_initial`` — coordinate-space tile size of the initial estimate.
+    target_size:
+        ``T_target`` — the final predicted tile size.
+    quantile_occupancy:
+        ``Q_y`` measured on the sampling distribution at ``T_initial``.
+    sampled_occupancies:
+        The sampled tile occupancies (at ``T_initial``).
+    buffer_capacity:
+        The capacity the estimate targets.
+    overbooking_target:
+        The requested ``y``.
+    tax:
+        Preprocessing cost actually incurred (elements touched while
+        sampling), for the Table 1 comparison.
+    """
+
+    initial_size: float
+    target_size: float
+    quantile_occupancy: float
+    sampled_occupancies: np.ndarray
+    buffer_capacity: int
+    overbooking_target: float
+    tax: TilingTax
+
+    @property
+    def scale_factor(self) -> float:
+        """``T_target / T_initial`` — how much the distribution was rescaled."""
+        if self.initial_size == 0:
+            return 1.0
+        return self.target_size / self.initial_size
+
+    def predicted_distribution(self) -> OccupancyStats:
+        """The sampled distribution linearly rescaled to ``T_target``.
+
+        This is the ``T_target (predicted)`` curve of Fig. 6c / Fig. 13.
+        """
+        return OccupancyStats(self.sampled_occupancies).scaled(self.scale_factor)
+
+
+class Swiftiles:
+    """The Swiftiles tile-size estimator.
+
+    Parameters
+    ----------
+    config:
+        Estimator parameters (``y``, ``k``, sampling mode).
+    rng:
+        Randomness for tile sampling; fixed by default so experiments are
+        reproducible.
+    """
+
+    def __init__(self, config: SwiftilesConfig | None = None, *, rng: RandomState = None):
+        self.config = config or SwiftilesConfig()
+        self._rng = resolve_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    # Step 1: initial estimate
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def initial_estimate(matrix: SparseMatrix, buffer_capacity: int) -> float:
+        """``T_initial = b / (1 - s)`` (Eq. 2).
+
+        Requires only the matrix shape and nnz — no traversal.
+        """
+        check_positive_int(buffer_capacity, "buffer_capacity")
+        density = matrix.density
+        if density <= 0.0:
+            # An all-zero tensor fits anywhere; any tile size works.
+            return float(matrix.size)
+        return float(buffer_capacity) / density
+
+    # ------------------------------------------------------------------ #
+    # Step 2: tile sampling
+    # ------------------------------------------------------------------ #
+    def sample_occupancies(self, matrix: SparseMatrix, tile_size: float,
+                           *, aspect_rows: Optional[int] = None) -> tuple[np.ndarray, int]:
+        """Sample tile occupancies for a tiling with tiles of ``tile_size`` points.
+
+        The tile size is turned into a row-block shape (``rows × full K``),
+        matching the evaluated dataflow: ``rows = max(1, round(size / K))``.
+        Returns ``(occupancies, elements_touched)`` where ``elements_touched``
+        is the preprocessing cost charged to the tiling tax (nonzeros inside
+        the sampled tiles only — the point of sampling is that this does not
+        grow with the tensor).
+        """
+        check_positive(tile_size, "tile_size")
+        num_cols = matrix.num_cols
+        block_rows = aspect_rows or max(1, int(round(tile_size / num_cols)))
+        block_rows = min(block_rows, matrix.num_rows)
+        occupancies = matrix.row_block_occupancies(block_rows)
+        num_tiles = len(occupancies)
+
+        if self.config.sample_all_tiles or num_tiles <= self.config.num_samples:
+            touched = int(occupancies.sum())
+            return occupancies.astype(np.float64), touched
+
+        chosen = self._rng.choice(num_tiles, size=self.config.num_samples, replace=False)
+        sampled = occupancies[np.sort(chosen)].astype(np.float64)
+        touched = int(sampled.sum())
+        return sampled, touched
+
+    # ------------------------------------------------------------------ #
+    # Step 3: distribution scaling
+    # ------------------------------------------------------------------ #
+    def estimate(self, matrix: SparseMatrix, buffer_capacity: int) -> SwiftilesEstimate:
+        """Run the full three-step Swiftiles procedure for one tensor/buffer."""
+        check_positive_int(buffer_capacity, "buffer_capacity")
+        y = self.config.overbooking_target
+
+        initial_size = self.initial_estimate(matrix, buffer_capacity)
+        sampled, touched = self.sample_occupancies(matrix, initial_size)
+        stats = OccupancyStats(sampled) if sampled.size else None
+
+        if stats is None or stats.total == 0:
+            # Degenerate tensors: fall back to the initial estimate.
+            quantile = float(buffer_capacity)
+        else:
+            quantile = stats.quantile_for_overbooking(y)
+            quantile = max(quantile, 1.0)
+
+        target_size = initial_size * buffer_capacity / quantile
+        # Clamp to sensible coordinate-space bounds.
+        target_size = float(min(max(target_size, 1.0), matrix.size))
+
+        tax = TilingTax(preprocessing_elements=touched, candidate_sizes=1)
+        return SwiftilesEstimate(
+            initial_size=initial_size,
+            target_size=target_size,
+            quantile_occupancy=quantile,
+            sampled_occupancies=sampled,
+            buffer_capacity=buffer_capacity,
+            overbooking_target=y,
+            tax=tax,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation helpers (Figs. 11 and 12)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def observed_overbooking_rate(matrix: SparseMatrix, tile_size: float,
+                                  buffer_capacity: int) -> float:
+        """The overbooking rate actually obtained when tiling at ``tile_size``.
+
+        Tiles the matrix into row blocks of the shape the size maps to and
+        measures the fraction of tiles whose occupancy exceeds the capacity —
+        the ground truth Swiftiles tries to steer to ``y``.
+        """
+        check_positive(tile_size, "tile_size")
+        check_positive_int(buffer_capacity, "buffer_capacity")
+        block_rows = max(1, int(round(tile_size / matrix.num_cols)))
+        block_rows = min(block_rows, matrix.num_rows)
+        occupancies = matrix.row_block_occupancies(block_rows)
+        if occupancies.size == 0:
+            return 0.0
+        return float((occupancies > buffer_capacity).mean())
+
+    def prediction_error(self, matrix: SparseMatrix, buffer_capacity: int) -> float:
+        """Absolute error between the achieved and the requested overbooking rate."""
+        estimate = self.estimate(matrix, buffer_capacity)
+        achieved = self.observed_overbooking_rate(
+            matrix, estimate.target_size, buffer_capacity)
+        return abs(achieved - self.config.overbooking_target)

@@ -1,0 +1,131 @@
+"""Accelergy-like per-component energy accounting.
+
+Accelergy estimates design energy by multiplying per-action energies (from
+technology plug-ins) with action counts (from a performance model such as
+Timeloop/Sparseloop).  :class:`EnergyModel` plays the same role here: it owns
+a table of per-action energies for each architectural component and converts
+the action counts produced by :mod:`repro.model.engine` into an
+:class:`EnergyReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.energy import cacti
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ComponentEnergy:
+    """Per-action energy of one architectural component.
+
+    Attributes
+    ----------
+    name:
+        Component name (``"dram"``, ``"global_buffer"``, ``"pe_buffer"``, ...).
+    read_pj / write_pj:
+        Energy per read / write action, in picojoules.
+    """
+
+    name: str
+    read_pj: float
+    write_pj: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.read_pj, "read_pj")
+        check_non_negative(self.write_pj, "write_pj")
+
+
+@dataclass
+class EnergyReport:
+    """Energy broken down per component (all values in picojoules)."""
+
+    per_component_pj: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_pj(self) -> float:
+        return float(sum(self.per_component_pj.values()))
+
+    @property
+    def total_uj(self) -> float:
+        """Total energy in microjoules."""
+        return self.total_pj * 1e-6
+
+    def fraction(self, component: str) -> float:
+        """Share of total energy attributed to ``component``."""
+        total = self.total_pj
+        if total == 0:
+            return 0.0
+        return self.per_component_pj.get(component, 0.0) / total
+
+    def merged(self, other: "EnergyReport") -> "EnergyReport":
+        """Component-wise sum of two reports."""
+        combined = dict(self.per_component_pj)
+        for key, value in other.per_component_pj.items():
+            combined[key] = combined.get(key, 0.0) + value
+        return EnergyReport(per_component_pj=combined)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.per_component_pj)
+
+
+class EnergyModel:
+    """Convert per-component action counts into energy.
+
+    Parameters
+    ----------
+    components:
+        Mapping of component name to :class:`ComponentEnergy`.  Use
+        :meth:`for_architecture` to derive the table from buffer capacities
+        with the CACTI-like scaling model.
+    """
+
+    def __init__(self, components: Mapping[str, ComponentEnergy]):
+        self._components = dict(components)
+
+    @classmethod
+    def for_architecture(cls, *, glb_capacity_words: int, pe_buffer_capacity_words: int,
+                         word_bits: int = 32) -> "EnergyModel":
+        """Build the default energy table for a two-level memory hierarchy."""
+        dram = cacti.dram_access_energy_pj(word_bits)
+        glb = cacti.sram_access_energy_pj(glb_capacity_words, word_bits)
+        pe_buf = cacti.sram_access_energy_pj(pe_buffer_capacity_words, word_bits)
+        mac = cacti.mac_energy_pj(word_bits)
+        isect = cacti.intersection_step_energy_pj()
+        components = {
+            "dram": ComponentEnergy("dram", read_pj=dram, write_pj=dram),
+            "global_buffer": ComponentEnergy("global_buffer", read_pj=glb, write_pj=glb),
+            "pe_buffer": ComponentEnergy("pe_buffer", read_pj=pe_buf, write_pj=pe_buf),
+            "mac": ComponentEnergy("mac", read_pj=mac, write_pj=mac),
+            "intersection": ComponentEnergy("intersection", read_pj=isect, write_pj=isect),
+        }
+        return cls(components)
+
+    @property
+    def components(self) -> Dict[str, ComponentEnergy]:
+        return dict(self._components)
+
+    def energy_of(self, component: str, *, reads: float = 0.0, writes: float = 0.0) -> float:
+        """Energy (pJ) of the given action counts on one component."""
+        check_non_negative(reads, "reads")
+        check_non_negative(writes, "writes")
+        if component not in self._components:
+            raise KeyError(f"unknown component {component!r}; known: {sorted(self._components)}")
+        entry = self._components[component]
+        return reads * entry.read_pj + writes * entry.write_pj
+
+    def report(self, action_counts: Mapping[str, Mapping[str, float]]) -> EnergyReport:
+        """Build an :class:`EnergyReport` from nested action counts.
+
+        ``action_counts`` maps component name to ``{"reads": r, "writes": w}``.
+        """
+        per_component: Dict[str, float] = {}
+        for component, counts in action_counts.items():
+            per_component[component] = self.energy_of(
+                component,
+                reads=float(counts.get("reads", 0.0)),
+                writes=float(counts.get("writes", 0.0)),
+            )
+        return EnergyReport(per_component_pj=per_component)

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module exposes a ``run(context)`` function returning a result dataclass
+and a ``format_result(result)`` function rendering it as plain text.  The
+:class:`~repro.experiments.runner.ExperimentContext` caches workload matrices
+and per-variant performance reports so that experiments sharing inputs
+(Figs. 7, 8, 9 all reuse the same evaluations) do not recompute them.
+
+Mapping to the paper:
+
+========  =====================================================  =============
+Artifact  What it shows                                          Module
+========  =====================================================  =============
+Table 1   tiling strategies: utilization vs. tiling tax          ``table1``
+Table 2   workload characteristics                               ``table2``
+Fig. 1    occupancy distribution of fixed-size tiles             ``fig1``
+Fig. 3/5  buffet vs. Tailors management of an overbooked tile    ``fig5``
+Fig. 7    speedup over ExTensor-N                                ``fig7``
+Fig. 8    energy relative to ExTensor-N                          ``fig8``
+Fig. 9    streaming overhead and data reuse                      ``fig9``
+Fig. 10   speedup of OB over P as a function of y                ``fig10``
+Fig. 11   overbooking rate: initial estimate vs. Swiftiles       ``fig11``
+Fig. 12   Swiftiles error vs. number of samples k                ``fig12``
+Fig. 13   occupancy distributions for one workload               ``fig13``
+========  =====================================================  =============
+"""
+
+from repro.experiments.runner import ExperimentContext
+
+__all__ = ["ExperimentContext"]

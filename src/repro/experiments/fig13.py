@@ -1,0 +1,115 @@
+"""Fig. 13: tile-occupancy distributions before and after Swiftiles scaling.
+
+For one workload (the paper uses amazon0312 with an 8 K-nonzero buffer and
+y = 10%) three distributions are compared:
+
+* the sampled distribution at the initial estimate ``T_initial``;
+* that distribution linearly rescaled by Swiftiles (``T_target`` predicted);
+* the distribution actually observed when tiling at ``T_target``.
+
+The reproduction reports the three distributions as CDF tables plus the
+quantile alignment at the ``y`` point, which is what the scaling step is
+supposed to fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.experiments.runner import ExperimentContext
+from repro.tiling.stats import OccupancyStats
+from repro.utils.text import format_table
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """The three occupancy distributions and their y-quantile occupancies."""
+
+    workload: str
+    buffer_capacity: int
+    target: float
+    initial_size: float
+    target_size: float
+    initial_quantile: float
+    predicted_quantile: float
+    observed_quantile: float
+    cdf_points: List[Tuple[float, float, float, float]]
+    observed_overbooking_rate: float
+
+    @property
+    def prediction_alignment(self) -> float:
+        """|predicted − observed| quantile occupancy, relative to the capacity."""
+        return abs(self.predicted_quantile - self.observed_quantile) / self.buffer_capacity
+
+
+def run(context: ExperimentContext, *, workload: str = "amazon0312",
+        buffer_capacity: int = 8192, target: float = 0.10,
+        num_cdf_points: int = 16) -> Fig13Result:
+    """Compute the Fig. 13 distributions for one workload."""
+    if workload not in context.suite:
+        workload = context.workload_names[0]
+    matrix = context.matrix(workload)
+
+    estimator = Swiftiles(SwiftilesConfig(overbooking_target=target, sample_all_tiles=True))
+    estimate = estimator.estimate(matrix, buffer_capacity)
+
+    initial_stats = OccupancyStats(estimate.sampled_occupancies)
+    predicted_stats = estimate.predicted_distribution()
+    observed_rows = max(1, int(round(estimate.target_size / matrix.num_cols)))
+    observed_stats = OccupancyStats(
+        matrix.row_block_occupancies(min(observed_rows, matrix.num_rows)))
+
+    top = max(initial_stats.max, predicted_stats.max, observed_stats.max)
+    xs = np.linspace(0, top, num_cdf_points)
+    cdf_points = []
+    for x in xs:
+        _, f_init = initial_stats.cdf([x])
+        _, f_pred = predicted_stats.cdf([x])
+        _, f_obs = observed_stats.cdf([x])
+        cdf_points.append((float(x), float(f_init[0]), float(f_pred[0]), float(f_obs[0])))
+
+    return Fig13Result(
+        workload=matrix.name,
+        buffer_capacity=buffer_capacity,
+        target=target,
+        initial_size=estimate.initial_size,
+        target_size=estimate.target_size,
+        initial_quantile=initial_stats.quantile_for_overbooking(target),
+        predicted_quantile=predicted_stats.quantile_for_overbooking(target),
+        observed_quantile=observed_stats.quantile_for_overbooking(target),
+        cdf_points=cdf_points,
+        observed_overbooking_rate=float(
+            (observed_stats.occupancies > buffer_capacity).mean()),
+    )
+
+
+def format_result(result: Fig13Result) -> str:
+    header = format_table(
+        ["quantity", "value"],
+        [
+            ("workload", result.workload),
+            ("buffer capacity (nonzeros)", result.buffer_capacity),
+            ("target y", f"{result.target:.0%}"),
+            ("T_initial (points)", f"{result.initial_size:.3g}"),
+            ("T_target (points)", f"{result.target_size:.3g}"),
+            ("Q_y at T_initial", f"{result.initial_quantile:.0f}"),
+            ("Q_y predicted at T_target", f"{result.predicted_quantile:.0f}"),
+            ("Q_y observed at T_target", f"{result.observed_quantile:.0f}"),
+            ("observed overbooking rate", f"{result.observed_overbooking_rate:.1%}"),
+        ],
+        title="Fig. 13: Swiftiles distributions",
+    )
+    cdf = format_table(
+        ["occupancy", "CDF @ T_initial", "CDF @ T_target (predicted)",
+         "CDF @ T_target (observed)"],
+        [
+            (f"{x:.0f}", f"{a:.2f}", f"{b:.2f}", f"{c:.2f}")
+            for x, a, b, c in result.cdf_points
+        ],
+        title="Cumulative distribution of tile occupancies",
+    )
+    return header + "\n\n" + cdf

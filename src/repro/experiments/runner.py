@@ -1,0 +1,108 @@
+"""Shared experiment context: workloads, accelerator model, cached reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.accelerator.config import ArchitectureConfig, scaled_default_config
+from repro.accelerator.extensor import (
+    AcceleratorVariant,
+    ExTensorModel,
+    VARIANT_NAIVE,
+    VARIANT_OVERBOOKING,
+    VARIANT_PRESCIENT,
+)
+from repro.model.stats import PerformanceReport
+from repro.model.workload import WorkloadDescriptor
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs, with caching of expensive intermediates.
+
+    Parameters
+    ----------
+    suite:
+        The workload suite to evaluate (default: the full 22-workload suite).
+    architecture:
+        Accelerator configuration (default: the scaled configuration).
+    overbooking_target:
+        The ``y`` used by the ExTensor-OB variant (default 10%, as in the
+        paper's headline results).
+    """
+
+    suite: WorkloadSuite = field(default_factory=default_suite)
+    architecture: ArchitectureConfig = field(default_factory=scaled_default_config)
+    overbooking_target: float = 0.10
+    _model: Optional[ExTensorModel] = field(default=None, repr=False)
+    _workloads: Dict[str, WorkloadDescriptor] = field(default_factory=dict, repr=False)
+    _reports: Dict[str, Dict[str, PerformanceReport]] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def full(cls, **kwargs) -> "ExperimentContext":
+        """Context over the full 22-workload suite."""
+        return cls(suite=default_suite(), **kwargs)
+
+    @classmethod
+    def quick(cls, **kwargs) -> "ExperimentContext":
+        """Context over the three-workload test suite (fast smoke runs)."""
+        return cls(suite=small_suite(), **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Cached accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> ExTensorModel:
+        """The accelerator model with the standard N / P / OB variants."""
+        if self._model is None:
+            variants = [
+                AcceleratorVariant.naive(),
+                AcceleratorVariant.prescient(),
+                AcceleratorVariant.overbooking(
+                    overbooking_target=self.overbooking_target),
+            ]
+            self._model = ExTensorModel(self.architecture, variants)
+        return self._model
+
+    @property
+    def workload_names(self) -> List[str]:
+        return self.suite.names
+
+    def matrix(self, name: str) -> SparseMatrix:
+        """The workload matrix for ``name``."""
+        return self.suite.matrix(name)
+
+    def workload(self, name: str) -> WorkloadDescriptor:
+        """The (cached) ``A × Aᵀ`` workload descriptor for ``name``."""
+        if name not in self._workloads:
+            self._workloads[name] = WorkloadDescriptor.gram(self.matrix(name), name=name)
+        return self._workloads[name]
+
+    def reports(self, name: str) -> Dict[str, PerformanceReport]:
+        """Per-variant performance reports for workload ``name`` (cached)."""
+        if name not in self._reports:
+            self._reports[name] = self.model.evaluate_workload(self.workload(name))
+        return self._reports[name]
+
+    def all_reports(self) -> Dict[str, Dict[str, PerformanceReport]]:
+        """Reports for every workload in the suite."""
+        return {name: self.reports(name) for name in self.workload_names}
+
+    # Variant-name passthroughs so experiments do not hard-code strings.
+    @property
+    def naive_name(self) -> str:
+        return VARIANT_NAIVE
+
+    @property
+    def prescient_name(self) -> str:
+        return VARIANT_PRESCIENT
+
+    @property
+    def overbooking_name(self) -> str:
+        return VARIANT_OVERBOOKING

@@ -1,0 +1,37 @@
+"""Sparseloop-like analytical performance/energy model.
+
+The paper evaluates its designs with Sparseloop + Accelergy: an analytical
+model that counts component actions for a given (workload, mapping, sparsity
+model) and converts them into cycles and energy.  This subpackage plays that
+role for the reproduction:
+
+* :mod:`repro.model.workload` — cached workload descriptors (operands,
+  operation counts).
+* :mod:`repro.model.sparsity` — the per-tile occupancy "sparsity model"
+  feeding the traffic equations (the paper adds an equivalent model to
+  Sparseloop, Section 5.1).
+* :mod:`repro.model.traffic` — per-level traffic equations for the
+  stationary/streaming dataflow, including the overbooking streaming
+  overhead.
+* :mod:`repro.model.engine` — the end-to-end evaluation: traffic → cycles →
+  energy for one (workload, architecture, accelerator variant).
+* :mod:`repro.model.stats` — result containers and ratio helpers.
+"""
+
+from repro.model.workload import WorkloadDescriptor
+from repro.model.sparsity import TileOccupancyModel
+from repro.model.traffic import FetchPolicy, LevelTraffic, operand_fetches
+from repro.model.stats import PerformanceReport, TrafficBreakdown, geometric_mean
+from repro.model.engine import AnalyticalEngine
+
+__all__ = [
+    "WorkloadDescriptor",
+    "TileOccupancyModel",
+    "FetchPolicy",
+    "LevelTraffic",
+    "operand_fetches",
+    "PerformanceReport",
+    "TrafficBreakdown",
+    "geometric_mean",
+    "AnalyticalEngine",
+]

@@ -1,0 +1,119 @@
+"""Per-tile occupancy sparsity model.
+
+The paper implements "a new sparsity model in Sparseloop to capture sparsity
+characteristics based on the per-tile data occupancy extracted from sparse
+tensors" (Section 5.1).  :class:`TileOccupancyModel` is that model for this
+reproduction: given an operand and a tiler, it produces the per-tile occupancy
+arrays at each memory level, plus the derived statistics (overbooking rate,
+buffer utilization, bumped fraction) the traffic equations and the experiment
+harness consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.overbooking import TilerResult
+from repro.tensor.sparse import SparseMatrix
+from repro.tiling.stats import OccupancyStats
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class TileOccupancyModel:
+    """Occupancy statistics of one operand tiled at one memory level.
+
+    Attributes
+    ----------
+    operand:
+        Operand name (``"A"`` or ``"B"``).
+    level:
+        Memory level name (``"global_buffer"`` or ``"pe_buffer"``).
+    capacity:
+        The level's per-operand capacity in words.
+    fifo_words:
+        Tailors FIFO-region size at that level (used to compute the resident
+        portion of overbooked tiles).
+    tiler_result:
+        The tiling chosen by the variant's tiler for this operand/level.
+    """
+
+    operand: str
+    level: str
+    capacity: int
+    fifo_words: int
+    tiler_result: TilerResult
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.capacity, "capacity")
+        check_positive_int(self.fifo_words, "fifo_words")
+
+    @property
+    def occupancies(self) -> np.ndarray:
+        """Per-tile occupancy array."""
+        return self.tiler_result.tiling.occupancies()
+
+    @property
+    def num_tiles(self) -> int:
+        return int(len(self.occupancies))
+
+    @property
+    def total_nonzeros(self) -> int:
+        return int(self.occupancies.sum())
+
+    @property
+    def resident_capacity(self) -> int:
+        """Words of an overbooked tile that stay resident under Tailors."""
+        return max(1, self.capacity - self.fifo_words)
+
+    @property
+    def overbooking_rate(self) -> float:
+        """Fraction of tiles whose occupancy exceeds the capacity."""
+        occ = self.occupancies
+        if occ.size == 0:
+            return 0.0
+        return float((occ > self.capacity).mean())
+
+    @property
+    def buffer_utilization(self) -> float:
+        """Average fraction of the buffer occupied while tiles are resident."""
+        occ = self.occupancies
+        if occ.size == 0:
+            return 0.0
+        return float(np.minimum(occ, self.capacity).mean() / self.capacity)
+
+    @property
+    def bumped_elements(self) -> int:
+        """Nonzeros that exceed the *resident* portion across overbooked tiles."""
+        occ = self.occupancies
+        overbooked = occ > self.capacity
+        if not overbooked.any():
+            return 0
+        return int(np.maximum(occ[overbooked] - self.resident_capacity, 0).sum())
+
+    @property
+    def bumped_fraction(self) -> float:
+        """Share of the operand's nonzeros that are bumped (x-axis of Fig. 9b)."""
+        total = self.total_nonzeros
+        if total == 0:
+            return 0.0
+        return self.bumped_elements / total
+
+    @property
+    def stats(self) -> Optional[OccupancyStats]:
+        """Distribution statistics of the tile occupancies (None when empty)."""
+        occ = self.occupancies
+        if occ.size == 0:
+            return None
+        return OccupancyStats(occ)
+
+    @classmethod
+    def from_tiler(cls, matrix: SparseMatrix, tiler, *, operand: str, level: str,
+                   capacity: int, fifo_words: int) -> "TileOccupancyModel":
+        """Apply ``tiler`` to ``matrix`` and wrap the result."""
+        result = tiler.tile(matrix, capacity)
+        return cls(operand=operand, level=level, capacity=capacity,
+                   fifo_words=fifo_words, tiler_result=result)

@@ -1,0 +1,70 @@
+"""Workload descriptors with cached derived quantities.
+
+The analytical engine evaluates the same workload under several accelerator
+variants and parameter sweeps (Figs. 7–12 all reuse the same 22 workloads), so
+the expensive derived quantities — the exact effectual-multiply count and the
+output occupancy — are computed once per workload and cached here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.tensor.einsum import MatmulWorkload, OperationCounts
+from repro.tensor.sparse import SparseMatrix
+
+
+@dataclass
+class WorkloadDescriptor:
+    """A SpMSpM workload plus lazily-computed operation counts."""
+
+    name: str
+    matmul: MatmulWorkload
+    _counts: Optional[OperationCounts] = field(default=None, repr=False)
+
+    @classmethod
+    def gram(cls, matrix: SparseMatrix, name: str | None = None) -> "WorkloadDescriptor":
+        """Build the ``A × Aᵀ`` workload the paper evaluates for ``matrix``."""
+        workload_name = name or matrix.name
+        return cls(name=workload_name, matmul=MatmulWorkload.gram(matrix, name=workload_name))
+
+    @property
+    def a(self) -> SparseMatrix:
+        return self.matmul.a
+
+    @property
+    def b(self) -> SparseMatrix:
+        return self.matmul.b
+
+    @property
+    def operation_counts(self) -> OperationCounts:
+        """Exact effectual multiplies / output nonzeros (computed once)."""
+        if self._counts is None:
+            self._counts = self.matmul.operation_counts()
+        return self._counts
+
+    @property
+    def effectual_multiplies(self) -> int:
+        return self.operation_counts.effectual_multiplies
+
+    @property
+    def output_nonzeros(self) -> int:
+        return self.operation_counts.output_nonzeros
+
+    @property
+    def footprint_nonzeros(self) -> int:
+        """Total operand nonzeros (A and B) that must come from DRAM at least once."""
+        return self.a.nnz + self.b.nnz
+
+    def summary(self) -> dict:
+        """Headline numbers for reports (Table 2 style)."""
+        return {
+            "name": self.name,
+            "rows": self.a.num_rows,
+            "cols": self.a.num_cols,
+            "nnz": self.a.nnz,
+            "sparsity": self.a.sparsity,
+            "effectual_multiplies": self.effectual_multiplies,
+            "output_nonzeros": self.output_nonzeros,
+        }

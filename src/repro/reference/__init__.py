@@ -1,0 +1,5 @@
+"""Reference (un-accelerated) implementations used as functional ground truth."""
+
+from repro.reference.spmspm import gustavson_spmspm, multiply_count
+
+__all__ = ["gustavson_spmspm", "multiply_count"]

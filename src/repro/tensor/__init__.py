@@ -1,0 +1,53 @@
+"""Sparse tensor substrate.
+
+This subpackage provides everything the rest of the library needs to talk
+about sparse tensors:
+
+* :mod:`repro.tensor.coords` — shapes, points, and range arithmetic.
+* :mod:`repro.tensor.sparse` — the :class:`SparseMatrix` workhorse (COO/CSR
+  backed, with fast per-tile occupancy counting).
+* :mod:`repro.tensor.formats` — the Compressed Sparse Fiber (CSF) fiber-tree
+  representation traversed by the ExTensor address generators.
+* :mod:`repro.tensor.einsum` — Einsum workload descriptions and operation
+  counting for SpMSpM.
+* :mod:`repro.tensor.generators` — synthetic sparse matrix generators that
+  mimic the SuiteSparse matrix classes used in the paper's evaluation.
+* :mod:`repro.tensor.suite` — the 22-workload synthetic evaluation suite
+  mirroring Table 2 of the paper.
+* :mod:`repro.tensor.io` — MatrixMarket-style persistence.
+"""
+
+from repro.tensor.coords import Shape, Point, Range
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.formats import CompressedSparseFiber, Fiber
+from repro.tensor.einsum import EinsumSpec, MatmulWorkload, count_spmspm_operations
+from repro.tensor.generators import (
+    banded_matrix,
+    block_diagonal_matrix,
+    erdos_renyi_matrix,
+    power_law_matrix,
+    road_network_matrix,
+    uniform_random_matrix,
+)
+from repro.tensor.suite import WorkloadSpec, WorkloadSuite, default_suite
+
+__all__ = [
+    "Shape",
+    "Point",
+    "Range",
+    "SparseMatrix",
+    "CompressedSparseFiber",
+    "Fiber",
+    "EinsumSpec",
+    "MatmulWorkload",
+    "count_spmspm_operations",
+    "banded_matrix",
+    "block_diagonal_matrix",
+    "erdos_renyi_matrix",
+    "power_law_matrix",
+    "road_network_matrix",
+    "uniform_random_matrix",
+    "WorkloadSpec",
+    "WorkloadSuite",
+    "default_suite",
+]

@@ -1,0 +1,120 @@
+"""Coordinate-space primitives: points, ranges, and shapes.
+
+The paper describes tiles in *coordinate space*: a tile is a hyper-rectangle of
+coordinates whose *size* is the product of its per-dimension ranges and whose
+*occupancy* is the number of nonzeros it contains (Section 2.2).  These small
+immutable classes carry that vocabulary through the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+#: A point is a tuple of integer coordinates, one per dimension.
+Point = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A half-open interval of integer coordinates ``[start, stop)``."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.start, "start")
+        check_non_negative_int(self.stop, "stop")
+        if self.stop < self.start:
+            raise ValueError(f"stop ({self.stop}) must be >= start ({self.start})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, coordinate: int) -> bool:
+        return self.start <= coordinate < self.stop
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.stop))
+
+    def intersect(self, other: "Range") -> "Range":
+        """Return the overlap of two ranges (possibly empty)."""
+        start = max(self.start, other.start)
+        stop = min(self.stop, other.stop)
+        if stop < start:
+            stop = start
+        return Range(start, stop)
+
+    def clamp(self, bound: int) -> "Range":
+        """Clip the range so that it does not extend past ``bound``."""
+        return Range(min(self.start, bound), min(self.stop, bound))
+
+
+@dataclass(frozen=True)
+class Shape:
+    """The shape of a tensor or tile: a tuple of per-dimension extents.
+
+    The paper's vocabulary (Section 2.1): the *shape* is the tuple of ranges,
+    the *size* is the product of the ranges (zeros included), and the
+    *occupancy* is the number of nonzeros — occupancy lives with the data, not
+    with the shape, so it is not represented here.
+    """
+
+    dims: Tuple[int, ...]
+
+    def __init__(self, dims: Sequence[int]):
+        dims = tuple(check_positive_int(d, "dimension") for d in dims)
+        if not dims:
+            raise ValueError("a shape needs at least one dimension")
+        object.__setattr__(self, "dims", dims)
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        """Number of points in the shape (zeros and nonzeros alike)."""
+        return math.prod(self.dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, index: int) -> int:
+        return self.dims[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.dims)
+
+    def contains(self, point: Point) -> bool:
+        """Return whether ``point`` lies inside the shape."""
+        if len(point) != self.rank:
+            raise ValueError(
+                f"point has {len(point)} coordinates but the shape has rank {self.rank}"
+            )
+        return all(0 <= c < d for c, d in zip(point, self.dims))
+
+    def tile_grid(self, tile_dims: Sequence[int]) -> Tuple[int, ...]:
+        """Number of tiles along each dimension when tiling with ``tile_dims``.
+
+        Partial tiles at the boundary count as full grid entries, matching how
+        coordinate-space tiling partitions a tensor whose extent is not an
+        exact multiple of the tile shape.
+        """
+        if len(tile_dims) != self.rank:
+            raise ValueError(
+                f"tile has {len(tile_dims)} dims but the shape has rank {self.rank}"
+            )
+        grid = []
+        for extent, tile_extent in zip(self.dims, tile_dims):
+            check_positive_int(tile_extent, "tile dimension")
+            grid.append(math.ceil(extent / tile_extent))
+        return tuple(grid)
+
+    def num_tiles(self, tile_dims: Sequence[int]) -> int:
+        """Total number of coordinate-space tiles of shape ``tile_dims``."""
+        return math.prod(self.tile_grid(tile_dims))

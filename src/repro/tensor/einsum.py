@@ -1,0 +1,229 @@
+"""Einsum workload descriptions and SpMSpM operation counting.
+
+The paper expresses its kernels in Einstein-summation notation, e.g.
+``Z[m,n] = A[m,k] * B[k,n]`` (Eq. 1), and evaluates ``A × Aᵀ`` on every
+workload.  This module provides:
+
+* :class:`EinsumSpec` — a tiny parser/validator for two-operand einsums, used
+  by the workload descriptors and the analytical model to know which
+  dimension is shared (contracted) and which are kept.
+* :class:`MatmulWorkload` — a concrete SpMSpM problem (two sparse operands).
+* :func:`count_spmspm_operations` — exact counting of effectual multiplies
+  and output nonzeros, the compute-side inputs to the cycle/energy model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import SparseMatrix
+
+_EINSUM_PATTERN = re.compile(
+    r"^\s*(?P<out>\w+)\[(?P<out_idx>[^\]]+)\]\s*=\s*"
+    r"(?P<a>\w+)\[(?P<a_idx>[^\]]+)\]\s*\*\s*"
+    r"(?P<b>\w+)\[(?P<b_idx>[^\]]+)\]\s*$"
+)
+
+
+def _split_indices(text: str) -> Tuple[str, ...]:
+    parts = tuple(p.strip() for p in text.split(","))
+    if any(not p for p in parts):
+        raise ValueError(f"malformed index list: {text!r}")
+    return parts
+
+
+@dataclass(frozen=True)
+class EinsumSpec:
+    """A parsed two-operand Einsum of the form ``Z[m,n] = A[m,k] * B[k,n]``.
+
+    Attributes
+    ----------
+    output, operand_a, operand_b:
+        Tensor names.
+    output_indices, a_indices, b_indices:
+        Index tuples for each tensor.
+    """
+
+    output: str
+    output_indices: Tuple[str, ...]
+    operand_a: str
+    a_indices: Tuple[str, ...]
+    operand_b: str
+    b_indices: Tuple[str, ...]
+
+    @classmethod
+    def parse(cls, expression: str) -> "EinsumSpec":
+        """Parse an einsum expression string.
+
+        >>> spec = EinsumSpec.parse("Z[m,n] = A[m,k] * B[k,n]")
+        >>> spec.contracted_indices
+        ('k',)
+        """
+        match = _EINSUM_PATTERN.match(expression)
+        if match is None:
+            raise ValueError(
+                "expected an expression like 'Z[m,n] = A[m,k] * B[k,n]', "
+                f"got {expression!r}"
+            )
+        return cls(
+            output=match["out"],
+            output_indices=_split_indices(match["out_idx"]),
+            operand_a=match["a"],
+            a_indices=_split_indices(match["a_idx"]),
+            operand_b=match["b"],
+            b_indices=_split_indices(match["b_idx"]),
+        )
+
+    @property
+    def contracted_indices(self) -> Tuple[str, ...]:
+        """Indices that appear in both operands but not in the output."""
+        output = set(self.output_indices)
+        shared = [i for i in self.a_indices if i in self.b_indices and i not in output]
+        return tuple(shared)
+
+    @property
+    def is_matmul(self) -> bool:
+        """True when the spec is a plain matrix multiplication."""
+        return (
+            len(self.a_indices) == 2
+            and len(self.b_indices) == 2
+            and len(self.output_indices) == 2
+            and len(self.contracted_indices) == 1
+        )
+
+    def validate_shapes(self, shapes: Dict[str, Tuple[int, ...]]) -> Dict[str, int]:
+        """Check operand shapes against the index structure.
+
+        ``shapes`` maps tensor name to its dimension tuple.  Returns the
+        resolved extent of every index, raising ``ValueError`` on mismatch.
+        """
+        extents: Dict[str, int] = {}
+        for name, indices in (
+            (self.operand_a, self.a_indices),
+            (self.operand_b, self.b_indices),
+            (self.output, self.output_indices),
+        ):
+            if name not in shapes:
+                continue
+            dims = shapes[name]
+            if len(dims) != len(indices):
+                raise ValueError(
+                    f"tensor {name} has {len(dims)} dimensions but the einsum names "
+                    f"{len(indices)} indices"
+                )
+            for index, extent in zip(indices, dims):
+                if index in extents and extents[index] != extent:
+                    raise ValueError(
+                        f"index {index!r} has conflicting extents "
+                        f"{extents[index]} and {extent}"
+                    )
+                extents[index] = int(extent)
+        return extents
+
+
+#: The matrix-multiplication einsum from Eq. 1 of the paper.
+MATMUL_EINSUM = EinsumSpec.parse("Z[m,n] = A[m,k] * B[k,n]")
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Exact work of an SpMSpM problem.
+
+    Attributes
+    ----------
+    effectual_multiplies:
+        Number of scalar multiplications between two nonzeros — the work an
+        ideal sparse accelerator performs.
+    output_nonzeros:
+        Number of nonzeros in the output tensor.
+    dense_multiplies:
+        Work a dense engine would perform (``M * K * N``); the ratio to
+        ``effectual_multiplies`` is the compute saving from sparsity.
+    """
+
+    effectual_multiplies: int
+    output_nonzeros: int
+    dense_multiplies: int
+
+    @property
+    def compute_saving(self) -> float:
+        """``dense_multiplies / effectual_multiplies`` (∞-safe)."""
+        if self.effectual_multiplies == 0:
+            return float("inf")
+        return self.dense_multiplies / self.effectual_multiplies
+
+
+def count_spmspm_operations(a: SparseMatrix, b: SparseMatrix) -> OperationCounts:
+    """Count effectual multiplies and output nonzeros of ``A @ B``.
+
+    The number of effectual multiplications of a row-times-column formulation
+    equals ``sum_k nnz(A[:, k]) * nnz(B[k, :])`` — each nonzero in column ``k``
+    of ``A`` meets each nonzero in row ``k`` of ``B`` exactly once.
+    """
+    if a.num_cols != b.num_rows:
+        raise ValueError(
+            f"inner dimensions do not match: {a.num_cols} vs {b.num_rows}"
+        )
+    a_col_occ = a.col_occupancies()
+    b_row_occ = b.row_occupancies()
+    effectual = int(np.dot(a_col_occ.astype(np.float64), b_row_occ.astype(np.float64)))
+    output_nnz = int((a.csr @ b.csr).nnz)
+    dense = a.num_rows * a.num_cols * b.num_cols
+    return OperationCounts(
+        effectual_multiplies=effectual,
+        output_nonzeros=output_nnz,
+        dense_multiplies=dense,
+    )
+
+
+@dataclass(frozen=True)
+class MatmulWorkload:
+    """A concrete SpMSpM workload: ``Z = A @ B`` with both operands sparse.
+
+    The paper evaluates ``A × Aᵀ``; :meth:`gram` builds that case.
+    """
+
+    a: SparseMatrix
+    b: SparseMatrix
+    name: str = "matmul"
+
+    def __post_init__(self) -> None:
+        if self.a.num_cols != self.b.num_rows:
+            raise ValueError(
+                "operand shapes are incompatible: "
+                f"A is {self.a.csr.shape}, B is {self.b.csr.shape}"
+            )
+
+    @classmethod
+    def gram(cls, a: SparseMatrix, name: str | None = None) -> "MatmulWorkload":
+        """Build the ``A × Aᵀ`` workload used throughout the evaluation."""
+        return cls(a=a, b=a.transpose(), name=name or f"{a.name} x {a.name}^T")
+
+    @property
+    def einsum(self) -> EinsumSpec:
+        """The einsum this workload instantiates."""
+        return MATMUL_EINSUM
+
+    @property
+    def m(self) -> int:
+        return self.a.num_rows
+
+    @property
+    def k(self) -> int:
+        return self.a.num_cols
+
+    @property
+    def n(self) -> int:
+        return self.b.num_cols
+
+    def operation_counts(self) -> OperationCounts:
+        """Exact effectual work of the workload."""
+        return count_spmspm_operations(self.a, self.b)
+
+    def reference_result(self) -> SparseMatrix:
+        """Functional ground truth computed with SciPy."""
+        return self.a.matmul(self.b)

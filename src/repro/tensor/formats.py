@@ -1,0 +1,176 @@
+"""Compressed Sparse Fiber (CSF) fiber-tree representation.
+
+ExTensor (and the terminology the paper adopts from Sze et al.) views a sparse
+tensor as a *fiber tree*: each level of the tree corresponds to one dimension
+("rank"), and each fiber holds the coordinates that are populated at that
+level along with payloads that are either the next-level fibers or, at the
+leaves, the nonzero values.
+
+The accelerator model uses this representation to count metadata traffic and
+to drive the coordinate-intersection unit: intersecting two fibers produces
+the coordinates where *both* operands have nonzeros, which is the set of
+effectual multiplications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.sparse import SparseMatrix
+
+
+@dataclass
+class Fiber:
+    """A single fiber: sorted coordinates with one payload per coordinate.
+
+    Payloads are either :class:`Fiber` instances (non-leaf levels) or floats
+    (leaf level).
+    """
+
+    coords: List[int] = field(default_factory=list)
+    payloads: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.coords) != len(self.payloads):
+            raise ValueError("coords and payloads must have the same length")
+        if any(b <= a for a, b in zip(self.coords, self.coords[1:])):
+            raise ValueError("fiber coordinates must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.coords)
+
+    def __iter__(self) -> Iterator[Tuple[int, object]]:
+        return iter(zip(self.coords, self.payloads))
+
+    @property
+    def occupancy(self) -> int:
+        """Number of populated coordinates in this fiber."""
+        return len(self.coords)
+
+    def lookup(self, coordinate: int) -> object | None:
+        """Return the payload at ``coordinate`` or ``None`` when absent."""
+        index = int(np.searchsorted(self.coords, coordinate))
+        if index < len(self.coords) and self.coords[index] == coordinate:
+            return self.payloads[index]
+        return None
+
+    def intersect(self, other: "Fiber") -> List[Tuple[int, object, object]]:
+        """Two-finger intersection of two fibers.
+
+        Returns the list of ``(coordinate, payload_self, payload_other)`` for
+        coordinates present in both fibers.  The number of *steps* the
+        intersection hardware takes is reported by :func:`intersection_steps`.
+        """
+        result: List[Tuple[int, object, object]] = []
+        i, j = 0, 0
+        while i < len(self.coords) and j < len(other.coords):
+            a, b = self.coords[i], other.coords[j]
+            if a == b:
+                result.append((a, self.payloads[i], other.payloads[j]))
+                i += 1
+                j += 1
+            elif a < b:
+                i += 1
+            else:
+                j += 1
+        return result
+
+
+def intersection_steps(fiber_a: Fiber, fiber_b: Fiber) -> int:
+    """Number of comparator steps a two-finger intersection takes.
+
+    Each step advances at least one finger, so the step count is bounded by
+    ``len(a) + len(b)`` and is the quantity the accelerator model charges to
+    the intersection unit.
+    """
+    i, j, steps = 0, 0, 0
+    ca, cb = fiber_a.coords, fiber_b.coords
+    while i < len(ca) and j < len(cb):
+        steps += 1
+        if ca[i] == cb[j]:
+            i += 1
+            j += 1
+        elif ca[i] < cb[j]:
+            i += 1
+        else:
+            j += 1
+    return steps
+
+
+class CompressedSparseFiber:
+    """A two-level CSF (row fiber of column fibers) built from a matrix.
+
+    The top-level fiber enumerates the populated rows; each payload is the
+    fiber of populated columns within that row, whose payloads are the values.
+
+    The class exposes the quantities the accelerator model charges for:
+
+    * :attr:`metadata_words` — number of coordinate words stored, i.e. the
+      compressed-format overhead moved alongside values;
+    * :attr:`data_words` — number of value words;
+    * :meth:`row_fiber` — per-row fibers for intersection accounting.
+    """
+
+    def __init__(self, matrix: SparseMatrix):
+        self._matrix = matrix
+        csr = matrix.csr
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        self._data = csr.data
+        populated = np.flatnonzero(np.diff(self._indptr)).astype(np.int64)
+        self._populated_rows = populated
+
+    @property
+    def matrix(self) -> SparseMatrix:
+        """The source matrix."""
+        return self._matrix
+
+    @property
+    def populated_rows(self) -> np.ndarray:
+        """Row coordinates that contain at least one nonzero."""
+        return self._populated_rows
+
+    @property
+    def data_words(self) -> int:
+        """Number of stored nonzero values."""
+        return int(self._matrix.nnz)
+
+    @property
+    def metadata_words(self) -> int:
+        """Number of coordinate words in the two-level CSF.
+
+        One word per populated row (top-level coordinates) plus one word per
+        nonzero (column coordinates).
+        """
+        return int(len(self._populated_rows) + self._matrix.nnz)
+
+    @property
+    def footprint_words(self) -> int:
+        """Total words (values + metadata) a buffer holding the tensor needs."""
+        return self.data_words + self.metadata_words
+
+    def row_fiber(self, row: int) -> Fiber:
+        """The fiber of populated columns in ``row`` (empty fiber if none)."""
+        if not 0 <= row < self._matrix.num_rows:
+            raise IndexError(f"row {row} outside [0, {self._matrix.num_rows})")
+        start, stop = self._indptr[row], self._indptr[row + 1]
+        coords = [int(c) for c in self._indices[start:stop]]
+        payloads = [float(v) for v in self._data[start:stop]]
+        return Fiber(coords, payloads)
+
+    def top_fiber(self) -> Fiber:
+        """The root fiber whose payloads are the per-row column fibers."""
+        coords = [int(r) for r in self._populated_rows]
+        payloads = [self.row_fiber(r) for r in coords]
+        return Fiber(coords, payloads)
+
+    def to_dict(self) -> Dict[int, Dict[int, float]]:
+        """Nested-dict view ``{row: {col: value}}`` (tests and examples)."""
+        result: Dict[int, Dict[int, float]] = {}
+        for row in self._populated_rows:
+            fiber = self.row_fiber(int(row))
+            result[int(row)] = dict(zip(fiber.coords, fiber.payloads))
+        return result

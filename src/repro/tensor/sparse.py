@@ -1,0 +1,266 @@
+"""The :class:`SparseMatrix` workhorse.
+
+The evaluation in the paper operates on two-dimensional sparse tensors
+(matrices) from SuiteSparse.  ``SparseMatrix`` wraps a SciPy CSR matrix and
+adds the operations the rest of the library needs:
+
+* cheap global statistics (nnz, sparsity, density) used by Swiftiles' initial
+  estimate (Eq. 2 of the paper needs only shape and nnz);
+* fast *per-tile occupancy* counting for coordinate-space tilings, which
+  drives every occupancy-distribution figure (Fig. 1, Fig. 6, Fig. 11–13);
+* row/column structure queries used by the ExTensor dataflow model
+  (intersection counting, per-row-block occupancies);
+* submatrix extraction used when constructing per-tile traces for the
+  Tailors/buffet reuse simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.coords import Range, Shape
+from repro.utils.validation import check_positive_int
+
+
+class SparseMatrix:
+    """An immutable two-dimensional sparse tensor backed by CSR storage.
+
+    Parameters
+    ----------
+    matrix:
+        Anything SciPy can turn into a CSR matrix (``scipy.sparse`` matrix,
+        dense ``numpy`` array, ...).  Explicit zeros are eliminated so that
+        ``nnz`` always means "number of stored nonzero values", matching the
+        paper's definition of occupancy.
+    name:
+        Optional human-readable name (workload names such as ``"roadNet-CA"``).
+    """
+
+    def __init__(self, matrix: sp.spmatrix | np.ndarray, name: str = "unnamed"):
+        csr = sp.csr_matrix(matrix, copy=True)
+        csr.eliminate_zeros()
+        csr.sort_indices()
+        if csr.ndim != 2:
+            raise ValueError("SparseMatrix only supports two-dimensional tensors")
+        self._csr = csr
+        self._name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, rows: Sequence[int], cols: Sequence[int],
+                 values: Sequence[float] | None, shape: Tuple[int, int],
+                 name: str = "unnamed") -> "SparseMatrix":
+        """Build from coordinate lists.  ``values=None`` stores all ones.
+
+        Duplicate coordinates are summed, mirroring SciPy COO semantics.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if values is None:
+            values = np.ones(len(rows), dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if not (len(rows) == len(cols) == len(values)):
+            raise ValueError("rows, cols and values must have equal lengths")
+        coo = sp.coo_matrix((values, (rows, cols)), shape=shape)
+        return cls(coo, name=name)
+
+    @classmethod
+    def from_dense(cls, array: np.ndarray, name: str = "unnamed") -> "SparseMatrix":
+        """Build from a dense NumPy array, dropping the zeros."""
+        return cls(sp.csr_matrix(np.asarray(array)), name=name)
+
+    @classmethod
+    def identity(cls, n: int, name: str = "identity") -> "SparseMatrix":
+        """The n-by-n identity matrix (useful in tests)."""
+        check_positive_int(n, "n")
+        return cls(sp.identity(n, format="csr"), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        """Workload name used in reports."""
+        return self._name
+
+    @property
+    def csr(self) -> sp.csr_matrix:
+        """The underlying SciPy CSR matrix (do not mutate)."""
+        return self._csr
+
+    @property
+    def shape(self) -> Shape:
+        """The coordinate-space shape of the tensor."""
+        return Shape(self._csr.shape)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._csr.shape[0])
+
+    @property
+    def num_cols(self) -> int:
+        return int(self._csr.shape[1])
+
+    @property
+    def size(self) -> int:
+        """Number of points (zeros and nonzeros) in the tensor."""
+        return self.num_rows * self.num_cols
+
+    @property
+    def nnz(self) -> int:
+        """Occupancy of the whole tensor: the number of stored nonzeros."""
+        return int(self._csr.nnz)
+
+    @property
+    def density(self) -> float:
+        """Fraction of points that are nonzero (``1 - sparsity``)."""
+        return self.nnz / self.size if self.size else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of points that are zero, the paper's ``s``."""
+        return 1.0 - self.density
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseMatrix(name={self._name!r}, shape={self._csr.shape}, "
+            f"nnz={self.nnz}, sparsity={self.sparsity:.6f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SparseMatrix):
+            return NotImplemented
+        if self._csr.shape != other._csr.shape:
+            return False
+        return (self._csr != other._csr).nnz == 0
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+    def row_occupancies(self) -> np.ndarray:
+        """Number of nonzeros in each row (length ``num_rows``)."""
+        return np.diff(self._csr.indptr).astype(np.int64)
+
+    def col_occupancies(self) -> np.ndarray:
+        """Number of nonzeros in each column (length ``num_cols``)."""
+        return np.asarray(
+            np.bincount(self._csr.indices, minlength=self.num_cols), dtype=np.int64
+        )
+
+    def coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(rows, cols)`` coordinate arrays of the nonzeros."""
+        coo = self._csr.tocoo()
+        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+
+    def values(self) -> np.ndarray:
+        """Nonzero values in CSR order."""
+        return self._csr.data.copy()
+
+    def iter_nonzeros(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(row, col, value)`` triples in row-major order."""
+        indptr = self._csr.indptr
+        indices = self._csr.indices
+        data = self._csr.data
+        for row in range(self.num_rows):
+            for k in range(indptr[row], indptr[row + 1]):
+                yield row, int(indices[k]), float(data[k])
+
+    def row_slice_nnz(self, row_range: Range) -> int:
+        """Occupancy of the row band ``[row_range.start, row_range.stop)``."""
+        indptr = self._csr.indptr
+        start = min(row_range.start, self.num_rows)
+        stop = min(row_range.stop, self.num_rows)
+        return int(indptr[stop] - indptr[start])
+
+    def submatrix(self, row_range: Range, col_range: Range,
+                  name: str | None = None) -> "SparseMatrix":
+        """Extract the tile covering ``row_range`` × ``col_range``.
+
+        The returned matrix has the tile's shape; coordinates are re-based to
+        the tile's origin, which is how tile-local traces are produced for the
+        buffer simulations.
+        """
+        row_range = row_range.clamp(self.num_rows)
+        col_range = col_range.clamp(self.num_cols)
+        block = self._csr[row_range.start:row_range.stop, col_range.start:col_range.stop]
+        tile_name = name or f"{self._name}[{row_range.start}:{row_range.stop},{col_range.start}:{col_range.stop}]"
+        return SparseMatrix(block, name=tile_name)
+
+    def transpose(self) -> "SparseMatrix":
+        """Return the transposed tensor (used to form ``B = Aᵀ`` workloads)."""
+        return SparseMatrix(self._csr.T.tocsr(), name=f"{self._name}.T")
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array (tests and tiny examples only)."""
+        return np.asarray(self._csr.todense())
+
+    # ------------------------------------------------------------------ #
+    # Tile occupancy counting
+    # ------------------------------------------------------------------ #
+    def tile_occupancies(self, tile_rows: int, tile_cols: int,
+                         *, include_empty: bool = True) -> np.ndarray:
+        """Occupancy of every coordinate-space tile of shape (tile_rows, tile_cols).
+
+        Tiles are laid out on a regular grid anchored at the origin; boundary
+        tiles may be smaller.  The result is a 1-D array in row-major tile
+        order whose length is ``ceil(M/tile_rows) * ceil(N/tile_cols)`` when
+        ``include_empty`` is true, otherwise only the occupancies of tiles that
+        contain at least one nonzero are returned.
+
+        This is the primitive behind every occupancy-distribution figure: it
+        costs one pass over the nonzeros (``O(nnz)``), independent of the
+        number of tiles, which is exactly the cheap per-size measurement the
+        prescient baseline has to repeat for every candidate size.
+        """
+        check_positive_int(tile_rows, "tile_rows")
+        check_positive_int(tile_cols, "tile_cols")
+        grid_rows = -(-self.num_rows // tile_rows)
+        grid_cols = -(-self.num_cols // tile_cols)
+        rows, cols = self.coordinates()
+        tile_ids = (rows // tile_rows) * grid_cols + (cols // tile_cols)
+        counts = np.bincount(tile_ids, minlength=grid_rows * grid_cols)
+        counts = counts.astype(np.int64)
+        if include_empty:
+            return counts
+        return counts[counts > 0]
+
+    def row_block_occupancies(self, block_rows: int) -> np.ndarray:
+        """Occupancy of every row-band tile of ``block_rows`` rows × full width.
+
+        This is the tile construction the evaluated ExTensor dataflow uses for
+        the stationary operand (expand along K first, to its full extent, then
+        grow along M), so the per-block occupancies determine whether a global
+        buffer tile fits or overbooks.
+        """
+        check_positive_int(block_rows, "block_rows")
+        indptr = self._csr.indptr
+        boundaries = np.arange(0, self.num_rows + block_rows, block_rows)
+        boundaries = np.clip(boundaries, 0, self.num_rows)
+        cumulative = indptr[boundaries]
+        return np.diff(cumulative).astype(np.int64)
+
+    def max_tile_occupancy(self, tile_rows: int, tile_cols: int) -> int:
+        """Largest occupancy over all tiles of the given shape (prescient search)."""
+        occupancies = self.tile_occupancies(tile_rows, tile_cols)
+        return int(occupancies.max()) if occupancies.size else 0
+
+    # ------------------------------------------------------------------ #
+    # Algebra helpers
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "SparseMatrix") -> "SparseMatrix":
+        """Reference sparse-sparse matrix multiply (functional ground truth)."""
+        if self.num_cols != other.num_rows:
+            raise ValueError(
+                f"inner dimensions do not match: {self.num_cols} vs {other.num_rows}"
+            )
+        product = self._csr @ other._csr
+        return SparseMatrix(product, name=f"{self._name}@{other._name}")
+
+    def gram(self) -> "SparseMatrix":
+        """Compute ``A @ Aᵀ``, the SpMSpM kernel evaluated throughout the paper."""
+        return self.matmul(self.transpose())

@@ -1,0 +1,268 @@
+"""The synthetic evaluation workload suite (Table 2 of the paper).
+
+The paper evaluates 22 SuiteSparse matrices.  This module defines a suite of
+22 synthetic workloads, one per paper workload, generated with the
+distribution class that matches the original matrix (FEM band, block FEM,
+power-law graph, near-uniform graph, road network).  Dimensions are scaled
+down (~1/16–1/64 of the originals) so that the entire evaluation pipeline runs
+in seconds on a laptop; the per-matrix *structure class* — which is what
+determines the tile-occupancy distribution and hence every result in the paper
+— is preserved.
+
+The realized characteristics of every synthetic workload (dimensions,
+occupancy, sparsity) are what Table 2 of the reproduction reports; see
+``repro.experiments.table2`` and EXPERIMENTS.md.
+
+Use :func:`default_suite` for the full 22-workload suite and
+:func:`small_suite` for a fast three-workload suite used by tests and the
+quickstart example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.tensor import generators
+from repro.tensor.sparse import SparseMatrix
+from repro.utils.rng import RandomState, resolve_rng
+
+#: A builder takes a numpy Generator and produces the workload matrix.
+MatrixBuilder = Callable[[np.random.Generator], SparseMatrix]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of one evaluation workload.
+
+    Attributes
+    ----------
+    name:
+        Workload name, matching the SuiteSparse matrix it stands in for.
+    category:
+        ``"linear-system"`` (top half of Table 2) or ``"graph"`` (bottom half).
+    description:
+        One-line description of the structure being mimicked.
+    paper_rows, paper_cols:
+        Dimensions of the original SuiteSparse matrix (for reference/reports).
+    paper_sparsity:
+        Sparsity of the original matrix as listed in Table 2.
+    builder:
+        Callable that generates the synthetic stand-in.
+    """
+
+    name: str
+    category: str
+    description: str
+    paper_rows: int
+    paper_cols: int
+    paper_sparsity: float
+    builder: MatrixBuilder = field(repr=False, compare=False)
+
+    def build(self, rng: RandomState = None) -> SparseMatrix:
+        """Generate the synthetic matrix for this workload."""
+        return self.builder(resolve_rng(rng))
+
+
+class WorkloadSuite:
+    """An ordered collection of workloads with cached matrix construction."""
+
+    def __init__(self, specs: Sequence[WorkloadSpec], *, seed: int = 2023):
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("workload names must be unique")
+        self._specs: Dict[str, WorkloadSpec] = {spec.name: spec for spec in specs}
+        self._order: List[str] = names
+        self._seed = int(seed)
+        self._cache: Dict[str, SparseMatrix] = {}
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[WorkloadSpec]:
+        return iter(self._specs[name] for name in self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    @property
+    def names(self) -> List[str]:
+        """Workload names in suite order."""
+        return list(self._order)
+
+    def spec(self, name: str) -> WorkloadSpec:
+        """The spec for ``name`` (raises ``KeyError`` if unknown)."""
+        return self._specs[name]
+
+    def matrix(self, name: str) -> SparseMatrix:
+        """Build (and cache) the matrix for workload ``name``.
+
+        Each workload draws from its own deterministic random stream derived
+        from the suite seed and the workload's position, so building workloads
+        in any order or subset yields identical matrices.
+        """
+        if name not in self._specs:
+            raise KeyError(f"unknown workload {name!r}; known: {self._order}")
+        if name not in self._cache:
+            index = self._order.index(name)
+            stream = np.random.default_rng(self._seed * 1_000_003 + index)
+            self._cache[name] = self._specs[name].build(stream)
+        return self._cache[name]
+
+    def matrices(self) -> Dict[str, SparseMatrix]:
+        """Build all workloads and return them keyed by name."""
+        return {name: self.matrix(name) for name in self._order}
+
+    def subset(self, names: Sequence[str]) -> "WorkloadSuite":
+        """A suite containing only the named workloads (same seed)."""
+        missing = [n for n in names if n not in self._specs]
+        if missing:
+            raise KeyError(f"unknown workloads: {missing}")
+        # Preserve caching determinism by re-deriving streams from positions
+        # in *this* suite: copy already-built matrices where available.
+        subset = WorkloadSuite([self._specs[n] for n in names], seed=self._seed)
+        for name in names:
+            index = self._order.index(name)
+            stream = np.random.default_rng(self._seed * 1_000_003 + index)
+            subset._cache[name] = self._specs[name].build(stream)
+        return subset
+
+
+def _linear(name: str, description: str, paper_rows: int, paper_sparsity: float,
+            builder: MatrixBuilder) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        category="linear-system",
+        description=description,
+        paper_rows=paper_rows,
+        paper_cols=paper_rows,
+        paper_sparsity=paper_sparsity,
+        builder=builder,
+    )
+
+
+def _graph(name: str, description: str, paper_rows: int, paper_sparsity: float,
+           builder: MatrixBuilder) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        category="graph",
+        description=description,
+        paper_rows=paper_rows,
+        paper_cols=paper_rows,
+        paper_sparsity=paper_sparsity,
+        builder=builder,
+    )
+
+
+def _default_specs() -> List[WorkloadSpec]:
+    """The 22 synthetic stand-ins for Table 2, in the paper's order."""
+
+    def banded(n: int, bw: int, fill: float, off: int, name: str) -> MatrixBuilder:
+        return lambda rng: generators.banded_matrix(
+            n, bandwidth=bw, band_fill=fill, off_band_nnz=off, rng=rng, name=name)
+
+    def blockdiag(n: int, block: int, fill: float, off: int, name: str) -> MatrixBuilder:
+        return lambda rng: generators.block_diagonal_matrix(
+            n, block_size=block, block_fill=fill, off_block_nnz=off, rng=rng, name=name)
+
+    def powerlaw(n: int, nnz: int, alpha: float, name: str) -> MatrixBuilder:
+        return lambda rng: generators.power_law_matrix(n, nnz, alpha=alpha, rng=rng, name=name)
+
+    def uniform(n: int, nnz: int, name: str) -> MatrixBuilder:
+        return lambda rng: generators.uniform_random_matrix(n, n, nnz, rng=rng, name=name)
+
+    def road(n: int, name: str) -> MatrixBuilder:
+        return lambda rng: generators.road_network_matrix(
+            n, extra_edge_fraction=0.05, num_clusters=10, cluster_size=150,
+            cluster_fill=0.35, rng=rng, name=name)
+
+    return [
+        # ---- Linear-system matrices (top half of Table 2) -----------------
+        _linear("rma10", "3D CFD of Charleston harbor; dense FEM band",
+                46_835, 0.9989, banded(2_900, 24, 0.85, 6_000, "rma10")),
+        _linear("cant", "FEM cantilever; wide dense band",
+                62_451, 0.9990, banded(3_900, 30, 0.85, 8_000, "cant")),
+        _linear("consph", "FEM concentric spheres; dense band",
+                83_334, 0.99913, banded(5_200, 34, 0.85, 10_000, "consph")),
+        _linear("shipsec1", "FEM ship section; banded with block structure",
+                140_874, 0.99960, banded(6_200, 26, 0.85, 12_000, "shipsec1")),
+        _linear("pwtk", "pressurized wind tunnel stiffness matrix",
+                217_918, 0.99971, banded(7_200, 25, 0.85, 12_000, "pwtk")),
+        _linear("cop20k_A", "accelerator cavity design; irregular band",
+                121_192, 0.99982, banded(5_600, 14, 0.60, 18_000, "cop20k_A")),
+        _linear("mac_econ_fwd500", "macroeconomic model; thin band + scatter",
+                206_500, 0.99997, banded(6_600, 4, 0.55, 14_000, "mac_econ_fwd500")),
+        _linear("mc2depi", "2D Markov-chain epidemiology model; tridiagonal-like",
+                525_825, 0.999992, banded(8_200, 2, 0.95, 2_000, "mc2depi")),
+        _linear("pdb1HYS", "protein structure; dense diagonal blocks",
+                36_417, 0.9967, blockdiag(2_300, 44, 0.55, 5_000, "pdb1HYS")),
+        # ---- Graph / data-analytics matrices (bottom half of Table 2) -----
+        _graph("sx-mathoverflow", "Q&A interaction graph; power-law hubs",
+               24_818, 0.9996, powerlaw(2_400, 26_000, 1.8, "sx-mathoverflow")),
+        _graph("email-Enron", "email communication graph; power-law hubs",
+               36_692, 0.99973, powerlaw(2_800, 30_000, 1.7, "email-Enron")),
+        _graph("cage12", "DNA electrophoresis; near-uniform banded graph",
+               130_228, 0.99988, banded(4_200, 8, 0.85, 36_000, "cage12")),
+        _graph("soc-Epinions1", "trust network; heavy-tailed degrees",
+               75_888, 0.99991, powerlaw(3_800, 28_000, 1.7, "soc-Epinions1")),
+        _graph("soc-sign-epinions", "signed trust network; heavy-tailed degrees",
+               131_828, 0.99995, powerlaw(4_600, 31_000, 1.7, "soc-sign-epinions")),
+        _graph("p2p-Gnutella31", "peer-to-peer overlay; near-uniform sparse",
+               62_586, 0.99996, uniform(3_200, 8_000, "p2p-Gnutella31")),
+        _graph("sx-askubuntu", "Q&A interaction graph; power-law hubs",
+               159_316, 0.99997, powerlaw(5_000, 32_000, 1.8, "sx-askubuntu")),
+        _graph("amazon0312", "co-purchasing network; moderately skewed",
+               400_727, 0.99998, powerlaw(8_000, 68_000, 1.3, "amazon0312")),
+        _graph("patents_main", "patent citations; near-uniform sparse",
+               240_547, 0.99999, uniform(7_600, 18_000, "patents_main")),
+        _graph("email-EuAll", "email graph; extreme hubs, very sparse rows",
+               265_214, 0.999994, powerlaw(8_400, 26_000, 2.0, "email-EuAll")),
+        _graph("web-Google", "web graph; near-uniform at tile granularity",
+               916_428, 0.9999958, uniform(10_500, 60_000, "web-Google")),
+        _graph("webbase-1M", "web crawl; extremely skewed hub structure",
+               1_000_005, 0.9999968, powerlaw(11_000, 46_000, 2.1, "webbase-1M")),
+        _graph("roadNet-CA", "California road network; planar grid + dense cities",
+               1_971_281, 0.9999986, road(14_000, "roadNet-CA")),
+    ]
+
+
+def default_suite(seed: int = 2023) -> WorkloadSuite:
+    """The full 22-workload synthetic suite mirroring Table 2."""
+    return WorkloadSuite(_default_specs(), seed=seed)
+
+
+def small_suite(seed: int = 2023) -> WorkloadSuite:
+    """A three-workload suite (one per structure class) for tests and demos."""
+    specs = [s for s in _default_specs() if s.name in ("rma10", "soc-Epinions1", "roadNet-CA")]
+    # Shrink the builders further for speed: rebuild with smaller dimensions.
+    small = [
+        WorkloadSpec(
+            name="tiny-fem",
+            category="linear-system",
+            description="small FEM band (test-scale stand-in for rma10)",
+            paper_rows=46_835, paper_cols=46_835, paper_sparsity=0.9989,
+            builder=lambda rng: generators.banded_matrix(
+                600, bandwidth=12, band_fill=0.8, off_band_nnz=1_200, rng=rng, name="tiny-fem"),
+        ),
+        WorkloadSpec(
+            name="tiny-social",
+            category="graph",
+            description="small power-law graph (test-scale stand-in for soc-Epinions1)",
+            paper_rows=75_888, paper_cols=75_888, paper_sparsity=0.99991,
+            builder=lambda rng: generators.power_law_matrix(
+                700, 6_000, alpha=1.7, rng=rng, name="tiny-social"),
+        ),
+        WorkloadSpec(
+            name="tiny-road",
+            category="graph",
+            description="small road network (test-scale stand-in for roadNet-CA)",
+            paper_rows=1_971_281, paper_cols=1_971_281, paper_sparsity=0.9999986,
+            builder=lambda rng: generators.road_network_matrix(
+                900, num_clusters=6, cluster_size=24, cluster_fill=0.3, rng=rng,
+                name="tiny-road"),
+        ),
+    ]
+    del specs
+    return WorkloadSuite(small, seed=seed)

@@ -1,0 +1,202 @@
+"""Tile and tiling abstractions shared by every strategy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.tensor.coords import Range
+from repro.tensor.sparse import SparseMatrix
+from repro.utils.validation import check_non_negative, check_non_negative_int
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A single tile of a two-dimensional tensor.
+
+    A tile is a hyper-rectangle in coordinate space (for CST) or a run of
+    nonzeros with a bounding rectangle (for PST).  Either way it records:
+
+    * ``row_range`` / ``col_range`` — the coordinate ranges the tile covers;
+    * ``occupancy`` — the number of nonzeros inside it (the paper's tile
+      occupancy);
+    * ``size`` — the number of coordinate points covered, zeros included.
+    """
+
+    index: int
+    row_range: Range
+    col_range: Range
+    occupancy: int
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.index, "index")
+        check_non_negative_int(self.occupancy, "occupancy")
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.row_range)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.col_range)
+
+    @property
+    def size(self) -> int:
+        """Number of coordinate points (zeros and nonzeros) in the tile."""
+        return self.num_rows * self.num_cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.num_rows, self.num_cols)
+
+    def overbooks(self, capacity: int) -> bool:
+        """Whether this tile's occupancy exceeds a buffer of ``capacity`` words."""
+        return self.occupancy > capacity
+
+    def bumped(self, capacity: int) -> int:
+        """Number of nonzeros that do not fit in a buffer of ``capacity`` words."""
+        return max(0, self.occupancy - capacity)
+
+
+@dataclass(frozen=True)
+class TilingTax:
+    """The cost of constructing and using a tiling (Table 1's "tiling tax").
+
+    Attributes
+    ----------
+    preprocessing_elements:
+        Number of nonzero elements traversed while *choosing* the tile size
+        (e.g. the prescient strategy traverses the whole tensor once per
+        candidate size; Swiftiles touches only its samples).
+    candidate_sizes:
+        Number of candidate tile sizes whose occupancy had to be measured.
+    runtime_matching_elements:
+        Number of elements traversed at runtime for operand matching (zero for
+        uniform-shape CST, a full traversal of the other operand per tile for
+        PST).
+    """
+
+    preprocessing_elements: int = 0
+    candidate_sizes: int = 0
+    runtime_matching_elements: int = 0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.preprocessing_elements, "preprocessing_elements")
+        check_non_negative(self.candidate_sizes, "candidate_sizes")
+        check_non_negative(self.runtime_matching_elements, "runtime_matching_elements")
+
+    @property
+    def total_elements(self) -> float:
+        """Total elements touched by the tiling strategy itself."""
+        return float(self.preprocessing_elements + self.runtime_matching_elements)
+
+    def combined(self, other: "TilingTax") -> "TilingTax":
+        """Sum two taxes (e.g. per-level tilings of the same workload)."""
+        return TilingTax(
+            preprocessing_elements=self.preprocessing_elements + other.preprocessing_elements,
+            candidate_sizes=self.candidate_sizes + other.candidate_sizes,
+            runtime_matching_elements=(
+                self.runtime_matching_elements + other.runtime_matching_elements
+            ),
+        )
+
+
+@dataclass
+class Tiling:
+    """A complete partitioning of a matrix into tiles.
+
+    Invariant (checked by :meth:`validate`): the tile occupancies sum to the
+    matrix occupancy, i.e. every nonzero belongs to exactly one tile.
+    """
+
+    matrix: SparseMatrix
+    tiles: List[Tile]
+    strategy: str
+    tax: TilingTax = field(default_factory=TilingTax)
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self.tiles)
+
+    def __getitem__(self, index: int) -> Tile:
+        return self.tiles[index]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    def occupancies(self) -> np.ndarray:
+        """Per-tile occupancies as an integer array (in tile order)."""
+        return np.array([tile.occupancy for tile in self.tiles], dtype=np.int64)
+
+    @property
+    def total_occupancy(self) -> int:
+        """Sum of tile occupancies (must equal the matrix nnz)."""
+        return int(self.occupancies().sum()) if self.tiles else 0
+
+    @property
+    def max_occupancy(self) -> int:
+        return int(self.occupancies().max()) if self.tiles else 0
+
+    def overbooked_tiles(self, capacity: int) -> List[Tile]:
+        """Tiles whose occupancy exceeds ``capacity``."""
+        return [tile for tile in self.tiles if tile.overbooks(capacity)]
+
+    def overbooking_rate(self, capacity: int) -> float:
+        """Fraction of tiles that overbook a buffer of ``capacity`` words."""
+        if not self.tiles:
+            return 0.0
+        return len(self.overbooked_tiles(capacity)) / len(self.tiles)
+
+    def bumped_elements(self, capacity: int) -> int:
+        """Total nonzeros that do not fit across all overbooked tiles."""
+        return sum(tile.bumped(capacity) for tile in self.tiles)
+
+    def buffer_utilization(self, capacity: int) -> float:
+        """Average fraction of the buffer occupied while each tile is resident.
+
+        A tile with occupancy above the capacity pins the buffer at 100%; a
+        tile with lower occupancy utilizes ``occupancy / capacity``.  This is
+        the adaptability metric of Table 1.
+        """
+        if not self.tiles or capacity <= 0:
+            return 0.0
+        occupancies = np.minimum(self.occupancies(), capacity)
+        return float(occupancies.mean() / capacity)
+
+    def validate(self) -> None:
+        """Check the partition invariant; raise ``ValueError`` on violation."""
+        if self.total_occupancy != self.matrix.nnz:
+            raise ValueError(
+                f"tiling of {self.matrix.name!r} covers {self.total_occupancy} nonzeros "
+                f"but the matrix has {self.matrix.nnz}"
+            )
+
+    def summary(self) -> dict:
+        """Small dict of headline statistics (used by reports and examples)."""
+        occ = self.occupancies()
+        return {
+            "strategy": self.strategy,
+            "num_tiles": self.num_tiles,
+            "max_occupancy": int(occ.max()) if occ.size else 0,
+            "mean_occupancy": float(occ.mean()) if occ.size else 0.0,
+            "total_occupancy": int(occ.sum()) if occ.size else 0,
+        }
+
+
+def tiles_from_occupancies(matrix: SparseMatrix, occupancies: Sequence[int],
+                           row_ranges: Sequence[Range], col_ranges: Sequence[Range],
+                           strategy: str, tax: TilingTax | None = None) -> Tiling:
+    """Assemble a :class:`Tiling` from parallel per-tile sequences."""
+    if not (len(occupancies) == len(row_ranges) == len(col_ranges)):
+        raise ValueError("occupancies, row_ranges and col_ranges must align")
+    tiles = [
+        Tile(index=i, row_range=row_ranges[i], col_range=col_ranges[i],
+             occupancy=int(occupancies[i]))
+        for i in range(len(occupancies))
+    ]
+    return Tiling(matrix=matrix, tiles=tiles, strategy=strategy, tax=tax or TilingTax())

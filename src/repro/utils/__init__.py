@@ -1,0 +1,29 @@
+"""Shared utilities: deterministic RNG handling, validation helpers, text reports.
+
+These helpers are intentionally small and dependency-free so that every other
+subpackage (tensor substrate, tiling, buffers, accelerator model, experiments)
+can rely on them without introducing import cycles.
+"""
+
+from repro.utils.rng import RandomState, resolve_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.text import format_table, format_histogram, format_series
+
+__all__ = [
+    "RandomState",
+    "resolve_rng",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "format_table",
+    "format_histogram",
+    "format_series",
+]

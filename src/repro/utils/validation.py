@@ -1,0 +1,81 @@
+"""Argument validation helpers.
+
+All public constructors in the library validate their arguments eagerly and
+raise ``ValueError``/``TypeError`` with messages that name the offending
+parameter.  Centralizing the checks keeps the error messages uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def _is_integer(value: Any) -> bool:
+    return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool)
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if not _is_integer(value):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if not _is_integer(value):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_positive(value: Any, name: str) -> float:
+    """Validate that ``value`` is a number strictly greater than zero."""
+    if not _is_number(value):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def check_non_negative(value: Any, name: str) -> float:
+    """Validate that ``value`` is a number greater than or equal to zero."""
+    if not _is_number(value):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return float(value)
+
+
+def check_fraction(value: Any, name: str, *, inclusive_low: bool = True,
+                   inclusive_high: bool = True) -> float:
+    """Validate that ``value`` lies in the unit interval ``[0, 1]``.
+
+    ``inclusive_low``/``inclusive_high`` control whether the endpoints are
+    permitted (e.g. a sparsity of exactly 1.0 — an all-zero tensor — is usually
+    disallowed by generators).
+    """
+    if not _is_number(value):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    low_ok = value >= 0.0 if inclusive_low else value > 0.0
+    high_ok = value <= 1.0 if inclusive_high else value < 1.0
+    if not (low_ok and high_ok):
+        lo = "[" if inclusive_low else "("
+        hi = "]" if inclusive_high else ")"
+        raise ValueError(f"{name} must lie in {lo}0, 1{hi}, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate a probability in ``[0, 1]`` (both endpoints allowed)."""
+    return check_fraction(value, name, inclusive_low=True, inclusive_high=True)

@@ -1,0 +1,147 @@
+"""Tests for the buffet storage idiom."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.base import BufferFullError, BufferStallError
+from repro.buffers.buffet import Buffet
+
+
+class TestBuffetOperations:
+    def test_fill_then_read(self):
+        buffet = Buffet(4)
+        for index, value in enumerate("abcd"):
+            buffet.fill(value)
+            assert buffet.read(index) == value
+
+    def test_read_relative_to_head(self):
+        buffet = Buffet(4)
+        for value in "abcd":
+            buffet.fill(value)
+        buffet.shrink(2)
+        assert buffet.read(0) == "c"
+        assert buffet.read(1) == "d"
+
+    def test_fill_full_raises(self):
+        buffet = Buffet(2)
+        buffet.fill(1)
+        buffet.fill(2)
+        with pytest.raises(BufferFullError):
+            buffet.fill(3)
+
+    def test_read_beyond_occupancy_stalls(self):
+        buffet = Buffet(4)
+        buffet.fill("a")
+        with pytest.raises(BufferStallError):
+            buffet.read(1)
+
+    def test_update(self):
+        buffet = Buffet(3)
+        buffet.fill("a")
+        buffet.fill("b")
+        buffet.update(1, "B")
+        assert buffet.read(1) == "B"
+
+    def test_update_beyond_occupancy_stalls(self):
+        buffet = Buffet(3)
+        with pytest.raises(BufferStallError):
+            buffet.update(0, "x")
+
+    def test_shrink_frees_oldest(self):
+        buffet = Buffet(3)
+        for value in "abc":
+            buffet.fill(value)
+        buffet.shrink(1)
+        assert buffet.contents() == ["b", "c"]
+        assert buffet.occupancy == 2
+
+    def test_shrink_more_than_occupancy_raises(self):
+        buffet = Buffet(3)
+        buffet.fill(1)
+        with pytest.raises(BufferStallError):
+            buffet.shrink(2)
+
+    def test_rolling_reuse_of_slots(self):
+        buffet = Buffet(2)
+        buffet.fill("a")
+        buffet.fill("b")
+        buffet.shrink(1)
+        buffet.fill("c")
+        assert buffet.contents() == ["b", "c"]
+
+    def test_index_to_offset_rolls(self):
+        buffet = Buffet(3)
+        for value in "abc":
+            buffet.fill(value)
+        buffet.shrink(2)
+        assert buffet.index_to_offset(0) == 2
+
+    def test_index_to_offset_beyond_capacity_raises(self):
+        with pytest.raises(IndexError):
+            Buffet(2).index_to_offset(2)
+
+
+class TestBuffetCredits:
+    def test_fill_consumes_credit(self):
+        buffet = Buffet(3)
+        buffet.fill(1)
+        assert buffet.credits.available == 2
+
+    def test_shrink_releases_credit(self):
+        buffet = Buffet(3)
+        buffet.fill(1)
+        buffet.shrink(1)
+        assert buffet.credits.available == 3
+
+    def test_can_fill_tracks_capacity(self):
+        buffet = Buffet(1)
+        assert buffet.can_fill()
+        buffet.fill(1)
+        assert not buffet.can_fill()
+
+
+class TestBuffetCounters:
+    def test_counts(self):
+        buffet = Buffet(4)
+        buffet.fill(1)
+        buffet.fill(2)
+        buffet.read(0)
+        buffet.update(1, 3)
+        buffet.shrink(2)
+        counters = buffet.counters
+        assert counters.fills == 2
+        assert counters.reads == 1
+        assert counters.updates == 1
+        assert counters.shrinks == 2
+        # Accesses to the data array: 2 fills + 1 read + 1 update.
+        assert counters.total_accesses() == 4
+
+    def test_reset(self):
+        buffet = Buffet(2)
+        buffet.fill(1)
+        buffet.reset()
+        assert buffet.occupancy == 0
+        assert buffet.credits.available == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["fill", "read", "shrink"]), max_size=60))
+def test_property_buffet_never_loses_unshrunk_data(operations):
+    """Data filled into a buffet stays readable until explicitly shrunk."""
+    capacity = 8
+    buffet = Buffet(capacity)
+    queue = []  # model of what the buffet should hold, head first
+    next_value = 0
+    for operation in operations:
+        if operation == "fill" and len(queue) < capacity:
+            buffet.fill(next_value)
+            queue.append(next_value)
+            next_value += 1
+        elif operation == "read" and queue:
+            index = len(queue) - 1
+            assert buffet.read(index) == queue[index]
+        elif operation == "shrink" and queue:
+            buffet.shrink(1)
+            queue.pop(0)
+    assert buffet.contents() == queue

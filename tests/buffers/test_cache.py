@@ -1,0 +1,80 @@
+"""Tests for the LRU cache model."""
+
+from repro.buffers.cache import LruCache
+
+
+class TestLruCache:
+    def test_miss_then_hit(self):
+        cache = LruCache(2)
+        assert cache.access("a") is False
+        assert cache.access("a") is True
+
+    def test_eviction_of_least_recent(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")        # a becomes most recent
+        cache.access("c")        # evicts b
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.contains("c")
+
+    def test_occupancy_bounded_by_capacity(self):
+        cache = LruCache(3)
+        for key in range(10):
+            cache.access(key)
+        assert cache.occupancy == 3
+
+    def test_hit_rate(self):
+        cache = LruCache(4)
+        cache.access("x")
+        cache.access("x")
+        cache.access("x")
+        cache.access("y")
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert LruCache(4).hit_rate == 0.0
+
+    def test_get_updates_recency(self):
+        cache = LruCache(2)
+        cache.access("a", value=1)
+        cache.access("b", value=2)
+        assert cache.get("a") == 1
+        cache.access("c")
+        assert cache.contains("a")          # a was refreshed by get
+        assert not cache.contains("b")
+
+    def test_get_missing_raises(self):
+        cache = LruCache(2)
+        try:
+            cache.get("missing")
+        except KeyError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected KeyError")
+
+    def test_counters(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.access("a")
+        cache.access("b")
+        cache.access("c")
+        assert cache.counters.misses == 3
+        assert cache.counters.evictions == 1
+        assert cache.counters.fills == 3
+
+    def test_scan_thrashing(self):
+        """A repeated scan larger than the cache misses on every access (LRU pathology)."""
+        cache = LruCache(8)
+        for _ in range(3):
+            for key in range(16):
+                cache.access(key)
+        assert cache.counters.misses == 48
+
+    def test_reset(self):
+        cache = LruCache(2)
+        cache.access("a")
+        cache.reset()
+        assert cache.occupancy == 0
+        assert not cache.contains("a")

@@ -1,0 +1,60 @@
+"""Tests for credit-based flow control."""
+
+import pytest
+
+from repro.buffers.credits import CreditChannel
+
+
+class TestCreditChannel:
+    def test_initial_credits(self):
+        channel = CreditChannel(4)
+        assert channel.available == 4
+        assert channel.can_send(4)
+
+    def test_consume_and_release(self):
+        channel = CreditChannel(4)
+        channel.consume(3)
+        assert channel.available == 1
+        channel.release(2)
+        assert channel.available == 3
+
+    def test_cannot_consume_more_than_available(self):
+        channel = CreditChannel(2)
+        channel.consume(2)
+        with pytest.raises(ValueError):
+            channel.consume(1)
+
+    def test_cannot_release_above_initial(self):
+        channel = CreditChannel(2)
+        with pytest.raises(ValueError):
+            channel.release(1)
+
+    def test_can_send(self):
+        channel = CreditChannel(2)
+        channel.consume(2)
+        assert not channel.can_send(1)
+
+    def test_lifetime_totals(self):
+        channel = CreditChannel(3)
+        channel.consume(2)
+        channel.release(2)
+        channel.consume(1)
+        assert channel.total_granted == 3
+        assert channel.total_released == 2
+
+    def test_reset_restores_credits_keeps_totals(self):
+        channel = CreditChannel(3)
+        channel.consume(3)
+        channel.reset()
+        assert channel.available == 3
+        assert channel.total_granted == 3
+
+    def test_invalid_initial_raises(self):
+        with pytest.raises(ValueError):
+            CreditChannel(0)
+
+    def test_release_zero_is_noop(self):
+        channel = CreditChannel(2)
+        channel.consume(1)
+        channel.release(0)
+        assert channel.available == 1

@@ -1,0 +1,70 @@
+"""Tests for the FIFO storage idiom."""
+
+import pytest
+
+from repro.buffers.base import BufferFullError, BufferStallError
+from repro.buffers.fifo import FifoBuffer
+
+
+class TestFifoBuffer:
+    def test_push_pop_order(self):
+        fifo = FifoBuffer(4)
+        for value in "abc":
+            fifo.push(value)
+        assert [fifo.pop() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_front_does_not_remove(self):
+        fifo = FifoBuffer(2)
+        fifo.push("x")
+        assert fifo.front() == "x"
+        assert fifo.occupancy == 1
+
+    def test_push_full_raises(self):
+        fifo = FifoBuffer(1)
+        fifo.push(1)
+        with pytest.raises(BufferFullError):
+            fifo.push(2)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(BufferStallError):
+            FifoBuffer(1).pop()
+
+    def test_front_empty_raises(self):
+        with pytest.raises(BufferStallError):
+            FifoBuffer(1).front()
+
+    def test_occupancy_and_utilization(self):
+        fifo = FifoBuffer(4)
+        fifo.push(1)
+        fifo.push(2)
+        assert fifo.occupancy == 2
+        assert fifo.utilization == 0.5
+        assert fifo.free_capacity == 2
+        assert not fifo.is_full
+
+    def test_counters(self):
+        fifo = FifoBuffer(4)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.pop()
+        fifo.front()
+        assert fifo.counters.fills == 2
+        assert fifo.counters.reads == 2
+        assert fifo.counters.shrinks == 1
+
+    def test_reset_clears_contents_but_not_counters(self):
+        fifo = FifoBuffer(4)
+        fifo.push(1)
+        fifo.reset()
+        assert fifo.occupancy == 0
+        assert fifo.counters.fills == 1
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            FifoBuffer(0)
+
+    def test_describe(self):
+        fifo = FifoBuffer(3, name="my-fifo")
+        description = fifo.describe()
+        assert description["name"] == "my-fifo"
+        assert description["capacity"] == 3

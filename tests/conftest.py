@@ -1,0 +1,45 @@
+"""Shared fixtures for the unit/integration test suite."""
+
+import numpy as np
+import pytest
+
+from repro.tensor.generators import banded_matrix, power_law_matrix, uniform_random_matrix
+from repro.tensor.sparse import SparseMatrix
+from repro.tensor.suite import small_suite
+
+
+@pytest.fixture
+def tiny_dense_matrix() -> SparseMatrix:
+    """A 4x4 matrix with a handful of nonzeros at known positions."""
+    dense = np.array([
+        [1.0, 0.0, 2.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0],
+        [3.0, 0.0, 0.0, 4.0],
+        [0.0, 5.0, 0.0, 0.0],
+    ])
+    return SparseMatrix.from_dense(dense, name="tiny")
+
+
+@pytest.fixture
+def banded() -> SparseMatrix:
+    """A small FEM-like banded matrix."""
+    return banded_matrix(200, bandwidth=6, band_fill=0.8, off_band_nnz=200, rng=1,
+                         name="banded-200")
+
+
+@pytest.fixture
+def powerlaw() -> SparseMatrix:
+    """A small power-law graph adjacency matrix."""
+    return power_law_matrix(300, 3000, alpha=1.6, rng=2, name="powerlaw-300")
+
+
+@pytest.fixture
+def uniform() -> SparseMatrix:
+    """A small uniformly random matrix."""
+    return uniform_random_matrix(150, 150, 1500, rng=3, name="uniform-150")
+
+
+@pytest.fixture(scope="session")
+def test_suite():
+    """The three-workload test suite (session-scoped: built once)."""
+    return small_suite()

@@ -1,0 +1,92 @@
+"""Tests for the naive / prescient / overbooking tilers."""
+
+import pytest
+
+from repro.core.overbooking import NaiveTiler, OverbookingTiler, PrescientTiler
+from repro.core.swiftiles import SwiftilesConfig
+
+
+CAPACITY = 400
+
+
+class TestNaiveTiler:
+    def test_dense_worst_case_block(self, uniform):
+        result = NaiveTiler().tile(uniform, CAPACITY)
+        assert result.block_rows == max(1, CAPACITY // uniform.num_cols)
+
+    def test_never_overbooks_dense_assumption(self, uniform):
+        result = NaiveTiler().tile(uniform, CAPACITY)
+        # Under the dense worst case the tile *size* never exceeds capacity
+        # (unless even a single row is wider than the buffer).
+        if uniform.num_cols <= CAPACITY:
+            assert result.tile_size <= CAPACITY
+
+    def test_zero_tax(self, powerlaw):
+        assert NaiveTiler().tile(powerlaw, CAPACITY).tax.total_elements == 0
+
+    def test_partition(self, powerlaw):
+        NaiveTiler().tile(powerlaw, CAPACITY).tiling.validate()
+
+    def test_low_utilization_on_sparse_data(self, powerlaw):
+        result = NaiveTiler().tile(powerlaw, CAPACITY)
+        assert result.buffer_utilization(CAPACITY) < 0.2
+
+
+class TestPrescientTiler:
+    def test_never_overbooks(self, powerlaw):
+        result = PrescientTiler().tile(powerlaw, CAPACITY)
+        assert result.overbooking_rate(CAPACITY) == 0.0
+
+    def test_larger_blocks_than_naive(self, powerlaw):
+        naive = NaiveTiler().tile(powerlaw, CAPACITY)
+        prescient = PrescientTiler().tile(powerlaw, CAPACITY)
+        assert prescient.block_rows >= naive.block_rows
+
+    def test_higher_utilization_than_naive(self, powerlaw):
+        naive = NaiveTiler().tile(powerlaw, CAPACITY)
+        prescient = PrescientTiler().tile(powerlaw, CAPACITY)
+        assert prescient.buffer_utilization(CAPACITY) > naive.buffer_utilization(CAPACITY)
+
+    def test_tax_is_positive(self, powerlaw):
+        result = PrescientTiler().tile(powerlaw, CAPACITY)
+        assert result.tax.preprocessing_elements > 0
+
+    def test_partition(self, banded):
+        PrescientTiler().tile(banded, CAPACITY).tiling.validate()
+
+
+class TestOverbookingTiler:
+    def test_partition(self, powerlaw):
+        OverbookingTiler(rng=0).tile(powerlaw, CAPACITY).tiling.validate()
+
+    def test_carries_swiftiles_estimate(self, powerlaw):
+        result = OverbookingTiler(rng=0).tile(powerlaw, CAPACITY)
+        assert result.swiftiles is not None
+        assert result.swiftiles.buffer_capacity == CAPACITY
+
+    def test_blocks_at_least_as_large_as_prescient_on_skewed_data(self, powerlaw):
+        prescient = PrescientTiler().tile(powerlaw, CAPACITY)
+        overbooked = OverbookingTiler(
+            SwiftilesConfig(overbooking_target=0.10, sample_all_tiles=True)).tile(
+            powerlaw, CAPACITY)
+        assert overbooked.block_rows >= prescient.block_rows
+
+    def test_some_tiles_overbook_on_skewed_data(self, powerlaw):
+        result = OverbookingTiler(
+            SwiftilesConfig(overbooking_target=0.25, sample_all_tiles=True)).tile(
+            powerlaw, CAPACITY)
+        assert result.overbooking_rate(CAPACITY) > 0.0
+
+    def test_tax_cheaper_than_prescient(self, powerlaw):
+        prescient = PrescientTiler().tile(powerlaw, CAPACITY)
+        overbooked = OverbookingTiler(rng=0).tile(powerlaw, CAPACITY)
+        assert overbooked.tax.total_elements <= prescient.tax.total_elements
+
+    def test_invalid_capacity(self, powerlaw):
+        with pytest.raises(ValueError):
+            OverbookingTiler(rng=0).tile(powerlaw, 0)
+
+    def test_block_rows_never_exceed_matrix(self, uniform):
+        result = OverbookingTiler(
+            SwiftilesConfig(overbooking_target=0.9)).tile(uniform, 10 * uniform.nnz)
+        assert result.block_rows <= uniform.num_rows

@@ -1,0 +1,118 @@
+"""Tests for trace-driven and analytic reuse accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reuse import (
+    analytic_buffet_fetches,
+    analytic_cache_scan_fetches,
+    analytic_tailors_fetches,
+    simulate_buffet_tile,
+    simulate_cache_tile,
+    simulate_tailors_tile,
+)
+
+
+class TestAnalyticForms:
+    def test_fitting_tile_fetched_once(self):
+        assert analytic_buffet_fetches(100, 200, 5) == 100
+        assert analytic_tailors_fetches(100, 200, 10, 5) == 100
+        assert analytic_cache_scan_fetches(100, 200, 5) == 100
+
+    def test_buffet_refetches_everything(self):
+        assert analytic_buffet_fetches(300, 100, 4) == 1200
+
+    def test_tailors_refetches_only_bumped(self):
+        # resident = 100 - 20 = 80, bumped = 220.
+        assert analytic_tailors_fetches(300, 100, 20, 4) == 80 + 220 * 4
+
+    def test_tailors_never_worse_than_buffet(self):
+        for occupancy in (50, 150, 1000):
+            for passes in (1, 3, 8):
+                assert analytic_tailors_fetches(occupancy, 100, 10, passes) <= \
+                    analytic_buffet_fetches(occupancy, 100, passes)
+
+    def test_cache_scan_equals_buffet(self):
+        assert analytic_cache_scan_fetches(500, 100, 3) == analytic_buffet_fetches(500, 100, 3)
+
+
+class TestTraceSimulations:
+    def test_buffet_matches_analytic_when_fitting(self):
+        report = simulate_buffet_tile(50, 100, num_passes=4)
+        assert report.parent_fetches == analytic_buffet_fetches(50, 100, 4)
+
+    def test_buffet_matches_analytic_when_overbooked(self):
+        report = simulate_buffet_tile(250, 64, num_passes=3)
+        assert report.parent_fetches == analytic_buffet_fetches(250, 64, 3)
+
+    def test_tailors_matches_analytic(self):
+        report = simulate_tailors_tile(250, 64, 16, num_passes=3)
+        assert report.parent_fetches == analytic_tailors_fetches(250, 64, 16, 3)
+
+    def test_cache_matches_analytic_scan(self):
+        report = simulate_cache_tile(250, 64, num_passes=3)
+        assert report.parent_fetches == analytic_cache_scan_fetches(250, 64, 3)
+
+    def test_total_accesses(self):
+        report = simulate_tailors_tile(40, 16, 4, num_passes=2)
+        assert report.total_accesses == 80
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            simulate_buffet_tile(0, 10)
+        with pytest.raises(ValueError):
+            simulate_tailors_tile(10, 0)
+
+
+class TestReuseReport:
+    def test_not_overbooked_full_reuse(self):
+        report = simulate_tailors_tile(50, 100, 10, num_passes=5)
+        assert not report.overbooked
+        assert report.bumped_fraction == 0.0
+        assert report.reuse_fraction == pytest.approx(1.0)
+        assert report.streaming_fetches == 0
+
+    def test_overbooked_reuse_below_one(self):
+        report = simulate_tailors_tile(300, 100, 20, num_passes=5)
+        assert report.overbooked
+        assert 0.0 < report.reuse_fraction < 1.0
+        assert report.bumped_fraction == pytest.approx(200 / 300)
+
+    def test_buffet_overbooked_zero_reuse(self):
+        report = simulate_buffet_tile(300, 100, num_passes=5)
+        assert report.reuse_fraction == pytest.approx(0.0)
+
+    def test_reuse_decreases_with_bumped_fraction(self):
+        capacities = (900, 600, 300, 100)
+        reuse = [simulate_tailors_tile(1000, c, c // 8, 4).reuse_fraction
+                 for c in capacities]
+        assert all(a >= b for a, b in zip(reuse, reuse[1:]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    occupancy=st.integers(min_value=1, max_value=400),
+    capacity=st.integers(min_value=2, max_value=128),
+    passes=st.integers(min_value=1, max_value=4),
+)
+def test_property_trace_matches_analytic(occupancy, capacity, passes):
+    """The trace-driven Tailors simulation agrees with the closed form."""
+    fifo = max(1, capacity // 4)
+    report = simulate_tailors_tile(occupancy, capacity, fifo, passes)
+    assert report.parent_fetches == analytic_tailors_fetches(occupancy, capacity, fifo, passes)
+    assert report.total_accesses == occupancy * passes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    occupancy=st.integers(min_value=1, max_value=400),
+    capacity=st.integers(min_value=2, max_value=128),
+    passes=st.integers(min_value=1, max_value=4),
+)
+def test_property_tailors_between_ideal_and_buffet(occupancy, capacity, passes):
+    """Tailors fetches lie between the ideal (fetch once) and the buffet."""
+    fifo = max(1, capacity // 4)
+    tailors = analytic_tailors_fetches(occupancy, capacity, fifo, passes)
+    buffet = analytic_buffet_fetches(occupancy, capacity, passes)
+    assert occupancy <= tailors <= buffet

@@ -1,0 +1,145 @@
+"""Tests for the Swiftiles statistical tile-size selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.tensor.generators import power_law_matrix, uniform_random_matrix
+
+
+class TestSwiftilesConfig:
+    def test_num_samples(self):
+        assert SwiftilesConfig(overbooking_target=0.10, samples_in_tail=10).num_samples == 100
+        assert SwiftilesConfig(overbooking_target=0.25, samples_in_tail=10).num_samples == 40
+
+    def test_num_samples_at_zero_target(self):
+        config = SwiftilesConfig(overbooking_target=0.0, samples_in_tail=10)
+        assert config.num_samples == 1000
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            SwiftilesConfig(overbooking_target=1.5)
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SwiftilesConfig(samples_in_tail=0)
+
+
+class TestInitialEstimate:
+    def test_equation_two(self, uniform):
+        capacity = 500
+        estimate = Swiftiles.initial_estimate(uniform, capacity)
+        assert estimate == pytest.approx(capacity / uniform.density)
+
+    def test_uniform_tensor_hits_expected_occupancy(self, uniform):
+        """For uniform sparsity the initial estimate targets ~buffer occupancy."""
+        capacity = 300
+        size = Swiftiles.initial_estimate(uniform, capacity)
+        block_rows = max(1, round(size / uniform.num_cols))
+        occupancies = uniform.row_block_occupancies(block_rows)
+        assert abs(np.mean(occupancies) - capacity) / capacity < 0.25
+
+    def test_scales_with_capacity(self, powerlaw):
+        small = Swiftiles.initial_estimate(powerlaw, 100)
+        large = Swiftiles.initial_estimate(powerlaw, 1000)
+        assert large == pytest.approx(10 * small)
+
+    def test_invalid_capacity(self, powerlaw):
+        with pytest.raises(ValueError):
+            Swiftiles.initial_estimate(powerlaw, 0)
+
+
+class TestSampling:
+    def test_full_sampling_returns_every_tile(self, powerlaw):
+        estimator = Swiftiles(SwiftilesConfig(sample_all_tiles=True))
+        size = float(16 * powerlaw.num_cols)
+        occupancies, touched = estimator.sample_occupancies(powerlaw, size)
+        assert len(occupancies) == -(-powerlaw.num_rows // 16)
+        assert touched == powerlaw.nnz
+
+    def test_sampling_is_bounded(self, powerlaw):
+        estimator = Swiftiles(SwiftilesConfig(overbooking_target=0.5, samples_in_tail=5))
+        size = float(2 * powerlaw.num_cols)
+        occupancies, touched = estimator.sample_occupancies(powerlaw, size)
+        assert len(occupancies) == estimator.config.num_samples
+        assert touched <= powerlaw.nnz
+
+    def test_sampling_cost_below_full_traversal(self, powerlaw):
+        estimator = Swiftiles(SwiftilesConfig(overbooking_target=0.25, samples_in_tail=4))
+        size = float(powerlaw.num_cols)  # single-row tiles -> many tiles
+        _, touched = estimator.sample_occupancies(powerlaw, size)
+        assert touched < powerlaw.nnz
+
+
+class TestEstimate:
+    def test_estimate_fields(self, powerlaw):
+        estimator = Swiftiles(SwiftilesConfig(overbooking_target=0.1), rng=0)
+        estimate = estimator.estimate(powerlaw, 400)
+        assert estimate.initial_size > 0
+        assert 1.0 <= estimate.target_size <= powerlaw.size
+        assert estimate.buffer_capacity == 400
+        assert estimate.tax.candidate_sizes == 1
+
+    def test_scale_factor(self, powerlaw):
+        estimate = Swiftiles(rng=0).estimate(powerlaw, 400)
+        assert estimate.scale_factor == pytest.approx(
+            estimate.target_size / estimate.initial_size)
+
+    def test_predicted_distribution_scales(self, powerlaw):
+        estimate = Swiftiles(rng=0).estimate(powerlaw, 400)
+        predicted = estimate.predicted_distribution()
+        assert predicted.count == len(estimate.sampled_occupancies)
+
+    def test_higher_y_gives_larger_tiles(self, powerlaw):
+        capacity = 400
+        conservative = Swiftiles(SwiftilesConfig(overbooking_target=0.02,
+                                                 sample_all_tiles=True)).estimate(
+            powerlaw, capacity)
+        aggressive = Swiftiles(SwiftilesConfig(overbooking_target=0.5,
+                                               sample_all_tiles=True)).estimate(
+            powerlaw, capacity)
+        assert aggressive.target_size >= conservative.target_size
+
+    def test_achieved_rate_near_target_with_full_sampling(self, powerlaw):
+        target = 0.10
+        estimator = Swiftiles(SwiftilesConfig(overbooking_target=target,
+                                              sample_all_tiles=True))
+        estimate = estimator.estimate(powerlaw, 200)
+        achieved = estimator.observed_overbooking_rate(powerlaw, estimate.target_size, 200)
+        assert abs(achieved - target) < 0.15
+
+    def test_prediction_error_metric(self, powerlaw):
+        estimator = Swiftiles(SwiftilesConfig(overbooking_target=0.1,
+                                              sample_all_tiles=True))
+        assert 0.0 <= estimator.prediction_error(powerlaw, 200) <= 1.0
+
+    def test_observed_rate_monotone_in_capacity(self, powerlaw):
+        estimator = Swiftiles()
+        size = float(64 * powerlaw.num_cols)
+        rates = [estimator.observed_overbooking_rate(powerlaw, size, capacity)
+                 for capacity in (50, 200, 800, 5000)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    capacity=st.integers(min_value=50, max_value=2000),
+    seed=st.integers(min_value=0, max_value=500),
+)
+def test_property_target_size_within_bounds(capacity, seed):
+    """The Swiftiles prediction is always a valid coordinate-space size."""
+    matrix = power_law_matrix(200, 2000, alpha=1.5, rng=seed)
+    estimate = Swiftiles(rng=seed).estimate(matrix, capacity)
+    assert 1.0 <= estimate.target_size <= matrix.size
+
+
+@settings(max_examples=15, deadline=None)
+@given(capacity=st.integers(min_value=50, max_value=1000))
+def test_property_initial_estimate_monotone_in_capacity(capacity):
+    """Eq. 2: the initial estimate grows linearly with the buffer capacity."""
+    matrix = uniform_random_matrix(100, 100, 2000, rng=1)
+    small = Swiftiles.initial_estimate(matrix, capacity)
+    large = Swiftiles.initial_estimate(matrix, capacity * 2)
+    assert large == pytest.approx(2 * small)

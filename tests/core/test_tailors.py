@@ -1,0 +1,201 @@
+"""Tests for the Tailors storage idiom."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.base import BufferFullError, BufferStallError
+from repro.buffers.buffet import Buffet
+from repro.core.tailors import Tailors, TailorsConfig
+
+
+class TestTailorsConfig:
+    def test_resident_capacity(self):
+        assert TailorsConfig(8, 2).resident_capacity == 6
+
+    def test_fifo_must_be_smaller_than_capacity(self):
+        with pytest.raises(ValueError):
+            TailorsConfig(4, 4)
+
+    def test_for_latency_sizing(self):
+        config = TailorsConfig.for_latency(64, round_trip_latency=4, fill_bandwidth=2)
+        assert config.fifo_region_size == 16
+        assert config.capacity == 64
+
+    def test_for_latency_clamped(self):
+        config = TailorsConfig.for_latency(4, round_trip_latency=100)
+        assert config.fifo_region_size == 3
+
+
+class TestBuffetCompatibleMode:
+    """While the tile fits, a Tailor must behave exactly like a buffet."""
+
+    def test_fill_read_update(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        for index, value in enumerate("abcd"):
+            tailor.fill(value)
+            assert tailor.read(index) == value
+        tailor.update(2, "C")
+        assert tailor.read(2) == "C"
+        assert not tailor.is_overbooked
+
+    def test_same_behaviour_as_buffet_when_fitting(self):
+        tailor = Tailors(TailorsConfig(8, 2))
+        buffet = Buffet(8)
+        for value in range(6):
+            tailor.fill(value)
+            buffet.fill(value)
+        for index in range(6):
+            assert tailor.read(index) == buffet.read(index)
+
+    def test_fill_full_raises(self):
+        tailor = Tailors(TailorsConfig(2, 1))
+        tailor.fill(1)
+        tailor.fill(2)
+        with pytest.raises(BufferFullError):
+            tailor.fill(3)
+
+    def test_read_unfilled_stalls(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        tailor.fill("a")
+        with pytest.raises(BufferStallError):
+            tailor.read(1)
+
+    def test_credits_track_fills(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        tailor.fill(1)
+        assert tailor.credits.available == 3
+
+
+class TestOverbookedMode:
+    def make_full(self, capacity=4, fifo=2):
+        tailor = Tailors(TailorsConfig(capacity, fifo))
+        for index in range(capacity):
+            tailor.fill(f"v{index}")
+        return tailor
+
+    def test_overwriting_fill_requires_full_buffer(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        tailor.fill("a")
+        with pytest.raises(BufferFullError):
+            tailor.overwriting_fill("x")
+
+    def test_plain_fill_forbidden_while_overbooked(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e")
+        with pytest.raises(BufferFullError):
+            tailor.fill("z")
+
+    def test_initial_owfill_clears_fifo_region(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e")
+        assert tailor.is_overbooked
+        contents = tailor.contents()
+        assert contents[0] == "v0" and contents[1] == "v1"
+        assert "v2" not in contents and "v3" not in contents
+
+    def test_buffet_region_keeps_serving_reads(self):
+        tailor = self.make_full(capacity=6, fifo=2)
+        tailor.overwriting_fill("x", index=6)
+        for index in range(4):
+            assert tailor.read(index) == f"v{index}"
+
+    def test_streamed_data_readable_by_tile_index(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e", index=4)
+        tailor.overwriting_fill("f", index=5)
+        assert tailor.read(4) == "e"
+        assert tailor.read(5) == "f"
+
+    def test_fifo_region_is_rolling(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e", index=4)
+        tailor.overwriting_fill("f", index=5)
+        tailor.overwriting_fill("g", index=6)  # overwrites e
+        with pytest.raises(BufferStallError):
+            tailor.read(4)
+        assert tailor.read(6) == "g"
+
+    def test_default_index_is_sequential(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e")
+        assert tailor.read(4) == "e"
+
+    def test_streamed_fill_counter(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e")
+        tailor.overwriting_fill("f")
+        assert tailor.streamed_fills == 2
+        assert tailor.counters.overwriting_fills == 2
+
+    def test_update_in_fifo_region(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e", index=4)
+        tailor.update(4, "E")
+        assert tailor.read(4) == "E"
+
+    def test_shrink_ends_overbooked_episode(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e", index=4)
+        tailor.shrink(4)
+        assert not tailor.is_overbooked
+        # The streamed element survives, re-based to index 0.
+        assert tailor.read(0) == "e"
+
+    def test_reset(self):
+        tailor = self.make_full()
+        tailor.overwriting_fill("e")
+        tailor.reset()
+        assert tailor.occupancy == 0
+        assert not tailor.is_overbooked
+        tailor.fill("fresh")
+        assert tailor.read(0) == "fresh"
+
+    def test_negative_read_index_rejected(self):
+        tailor = self.make_full()
+        with pytest.raises(IndexError):
+            tailor.read(-1)
+
+
+class TestFifoOffsetBookkeeping:
+    def test_offset_zero_when_not_overbooked(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        tailor.fill("a")
+        assert tailor.fifo_offset == 0
+
+    def test_offset_tracks_least_recent_streamed_index(self):
+        tailor = Tailors(TailorsConfig(4, 2))
+        for value in "abcd":
+            tailor.fill(value)
+        tailor.overwriting_fill("e", index=4)
+        assert tailor.fifo_offset == 2          # 4 - fifo_head(2)
+        tailor.overwriting_fill("f", index=5)
+        assert tailor.fifo_offset == 2          # e is still the oldest
+        tailor.overwriting_fill("c", index=2)   # replaces e; f becomes oldest
+        assert tailor.fifo_offset == 3
+        tailor.overwriting_fill("d", index=3)   # replaces f; c becomes oldest
+        assert tailor.fifo_offset == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=32),
+    extra=st.integers(min_value=0, max_value=40),
+)
+def test_property_tailors_matches_buffet_until_overbooked(capacity, extra):
+    """Filling up to capacity and reading back behaves identically to a buffet."""
+    fifo = max(1, capacity // 4)
+    tailor = Tailors(TailorsConfig(capacity, fifo))
+    buffet = Buffet(capacity)
+    for value in range(capacity):
+        tailor.fill(value)
+        buffet.fill(value)
+    for index in range(capacity):
+        assert tailor.read(index) == buffet.read(index)
+    # Streaming `extra` additional elements never disturbs the resident head.
+    for index in range(capacity, capacity + extra):
+        tailor.overwriting_fill(index, index=index)
+        assert tailor.read(index) == index
+    resident = capacity - fifo if extra else capacity
+    for index in range(resident):
+        assert tailor.read(index) == index

@@ -1,0 +1,82 @@
+"""Golden test: the operation-by-operation example of Fig. 5 of the paper.
+
+A Tailor with a capacity of four elements and a FIFO-managed region of two
+processes the six-element tile ``a b c d e f``.  The test follows the exact
+operation sequence of the figure and checks the FIFO offset the paper reports
+at each step, the data returned by every read, and the final buffer contents.
+
+One intentional divergence: the figure renormalizes the FIFO-managed region to
+a fixed head position for readability, so its "Buffer Offset" column reports
+the *displayed* slot.  The model tracks physical slots (the figure's rolling
+buffer), so offsets inside the FIFO region can differ by a rotation while the
+returned data is identical; the test asserts on data, FIFO offsets, and the
+buffet-region offsets, which are unambiguous.
+"""
+
+from repro.core.tailors import Tailors, TailorsConfig
+
+
+def test_fig5_operation_sequence():
+    tailor = Tailors(TailorsConfig(capacity=4, fifo_region_size=2))
+    tile = ["a", "b", "c", "d", "e", "f"]
+
+    # Steps leading to a full buffer (the figure starts at Fill(d)).
+    for index in range(4):
+        tailor.fill(tile[index])
+    assert tailor.contents() == ["a", "b", "c", "d"]
+    assert not tailor.is_overbooked
+
+    # Step: Read(3) -> d at buffer offset 3.
+    assert tailor.read(3) == "d"
+    assert tailor.offset_of(3) == 3
+
+    # Step: OWFill(e) — initial overwriting fill splits the buffer.
+    tailor.overwriting_fill("e", index=4)
+    assert tailor.is_overbooked
+    assert tailor.fifo_head == 2
+    assert tailor.fifo_offset == 2            # paper: FIFO offset = 2
+    assert tailor.offset_of(4) == 2           # paper: buffer offset = 2
+
+    # Step: Read(4) -> e.
+    assert tailor.read(4) == "e"
+
+    # Step: OWFill(f), Read(5) -> f at offset 3 with FIFO offset still 2.
+    tailor.overwriting_fill("f", index=5)
+    assert tailor.fifo_offset == 2
+    assert tailor.offset_of(5) == 3
+    assert tailor.read(5) == "f"
+
+    # Steps: Read(0), Read(1) hit the buffet-managed region unchanged.
+    assert tailor.read(0) == "a"
+    assert tailor.offset_of(0) == 0
+    assert tailor.read(1) == "b"
+    assert tailor.offset_of(1) == 1
+
+    # Step: OWFill(c) replaces the oldest streamed element (e) and bumps the
+    # FIFO offset to 3 (paper step 9).
+    tailor.overwriting_fill("c", index=2)
+    assert tailor.fifo_offset == 3
+
+    # Step: Read(2) returns c even though earlier data was replaced.
+    assert tailor.read(2) == "c"
+
+    # Step: OWFill(d) replaces f (the end of the tile) and resets the FIFO
+    # offset to zero (paper step 11); the buffer again holds a b c d.
+    tailor.overwriting_fill("d", index=3)
+    assert tailor.fifo_offset == 0
+    assert sorted(x for x in tailor.contents() if x is not None) == ["a", "b", "c", "d"]
+    assert tailor.read(3) == "d"
+
+
+def test_fig5_reuse_is_preserved_for_buffet_region():
+    """Across the whole Fig. 5 sequence, a and b are never re-fetched."""
+    tailor = Tailors(TailorsConfig(capacity=4, fifo_region_size=2))
+    for index, value in enumerate("abcd"):
+        tailor.fill(value)
+    for index, value in [(4, "e"), (5, "f"), (2, "c"), (3, "d")]:
+        tailor.overwriting_fill(value, index=index)
+    # Four plain fills and four overwriting fills: the head of the tile was
+    # fetched exactly once.
+    assert tailor.counters.fills == 4
+    assert tailor.counters.overwriting_fills == 4
+    assert tailor.read(0) == "a" and tailor.read(1) == "b"

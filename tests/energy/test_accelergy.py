@@ -1,0 +1,72 @@
+"""Tests for the Accelergy-like energy accounting."""
+
+import pytest
+
+from repro.energy.accelergy import ComponentEnergy, EnergyModel, EnergyReport
+
+
+class TestComponentEnergy:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ComponentEnergy("x", read_pj=-1.0, write_pj=0.0)
+
+
+class TestEnergyModel:
+    def make(self):
+        return EnergyModel({
+            "dram": ComponentEnergy("dram", 100.0, 100.0),
+            "sram": ComponentEnergy("sram", 1.0, 2.0),
+        })
+
+    def test_energy_of(self):
+        model = self.make()
+        assert model.energy_of("sram", reads=10, writes=5) == pytest.approx(10 + 10)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            self.make().energy_of("nope", reads=1)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            self.make().energy_of("sram", reads=-1)
+
+    def test_report(self):
+        report = self.make().report({
+            "dram": {"reads": 2},
+            "sram": {"reads": 10, "writes": 10},
+        })
+        assert report.per_component_pj["dram"] == pytest.approx(200.0)
+        assert report.total_pj == pytest.approx(200.0 + 30.0)
+
+    def test_for_architecture_components(self):
+        model = EnergyModel.for_architecture(glb_capacity_words=8192,
+                                             pe_buffer_capacity_words=256)
+        names = set(model.components)
+        assert {"dram", "global_buffer", "pe_buffer", "mac", "intersection"} <= names
+
+    def test_for_architecture_ordering(self):
+        model = EnergyModel.for_architecture(glb_capacity_words=1 << 20,
+                                             pe_buffer_capacity_words=256)
+        components = model.components
+        assert components["dram"].read_pj > components["global_buffer"].read_pj
+        assert components["global_buffer"].read_pj > components["pe_buffer"].read_pj
+
+
+class TestEnergyReport:
+    def test_total_and_fraction(self):
+        report = EnergyReport({"a": 75.0, "b": 25.0})
+        assert report.total_pj == 100.0
+        assert report.fraction("a") == 0.75
+        assert report.fraction("missing") == 0.0
+
+    def test_total_uj(self):
+        assert EnergyReport({"a": 2e6}).total_uj == pytest.approx(2.0)
+
+    def test_merged(self):
+        merged = EnergyReport({"a": 1.0}).merged(EnergyReport({"a": 2.0, "b": 3.0}))
+        assert merged.per_component_pj == {"a": 3.0, "b": 3.0}
+
+    def test_empty_report(self):
+        report = EnergyReport()
+        assert report.total_pj == 0.0
+        assert report.fraction("a") == 0.0

@@ -1,0 +1,89 @@
+"""Smoke and consistency tests for the experiment harness (quick context)."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments import fig1, fig5, fig7, fig8, fig9, fig10, fig11, fig12, fig13
+from repro.experiments import table1, table2
+
+
+@pytest.fixture(scope="module")
+def quick_context():
+    return ExperimentContext.quick()
+
+
+class TestContext:
+    def test_quick_has_three_workloads(self, quick_context):
+        assert len(quick_context.workload_names) == 3
+
+    def test_reports_cached(self, quick_context):
+        first = quick_context.reports("tiny-fem")
+        assert quick_context.reports("tiny-fem") is first
+
+    def test_variant_names(self, quick_context):
+        assert quick_context.naive_name == "ExTensor-N"
+        assert quick_context.overbooking_name == "ExTensor-OB"
+
+
+class TestTableExperiments:
+    def test_table1_rows_and_format(self, quick_context):
+        result = table1.run(quick_context)
+        assert len(result.rows) == 4
+        text = table1.format_result(result)
+        assert "uniform shape" in text and "overbooking" in text
+
+    def test_table2_rows_and_format(self, quick_context):
+        result = table2.run(quick_context)
+        assert len(result.rows) == 3
+        assert "Table 2" in table2.format_result(result)
+
+
+class TestFigureExperiments:
+    def test_fig1(self, quick_context):
+        result = fig1.run(quick_context)
+        assert result.max_occupancy <= result.tile_size
+        assert "histogram" in fig1.format_result(result)
+
+    def test_fig5(self):
+        result = fig5.run()
+        assert result.fetch_savings > 1.0
+        assert "OWFill" in fig5.format_result(result)
+
+    def test_fig7(self, quick_context):
+        result = fig7.run(quick_context)
+        assert len(result.rows) == 3
+        assert result.geomean_prescient > 0
+        assert "geomean" in fig7.format_result(result)
+
+    def test_fig8(self, quick_context):
+        result = fig8.run(quick_context)
+        assert result.geomean_overbooking > 0
+        assert "Fig. 8" in fig8.format_result(result)
+
+    def test_fig9(self, quick_context):
+        result = fig9.run(quick_context)
+        assert all(0.0 <= r.overhead_fraction for r in result.rows)
+        fig9.format_result(result)
+
+    def test_fig10_small_sweep(self, quick_context):
+        result = fig10.run(quick_context, y_values=(0.0, 0.1, 1.0),
+                           workloads=["tiny-fem"])
+        assert len(result.speedups) == 3
+        assert result.best_y in (0.0, 0.1, 1.0)
+        with pytest.raises(KeyError):
+            result.speedup_at(0.33)
+
+    def test_fig11(self, quick_context):
+        result = fig11.run(quick_context, capacity=256)
+        assert len(result.rows) == 3
+        assert 0 <= result.mae_swiftiles <= 1.0
+
+    def test_fig12(self, quick_context):
+        result = fig12.run(quick_context, k_values=(0, 2, 5), capacity=256)
+        assert result.k_values == [0, 2, 5]
+        assert all(0 <= mae <= 1 for mae in result.mae_values)
+
+    def test_fig13(self, quick_context):
+        result = fig13.run(quick_context, workload="tiny-fem", buffer_capacity=512)
+        assert result.predicted_quantile == pytest.approx(512, rel=0.05)
+        fig13.format_result(result)

@@ -1,0 +1,99 @@
+"""Tests for einsum parsing and SpMSpM operation counting."""
+
+import pytest
+
+from repro.tensor.einsum import (
+    EinsumSpec,
+    MATMUL_EINSUM,
+    MatmulWorkload,
+    count_spmspm_operations,
+)
+from repro.tensor.sparse import SparseMatrix
+
+
+class TestEinsumSpec:
+    def test_parse_matmul(self):
+        spec = EinsumSpec.parse("Z[m,n] = A[m,k] * B[k,n]")
+        assert spec.output == "Z"
+        assert spec.a_indices == ("m", "k")
+        assert spec.b_indices == ("k", "n")
+
+    def test_contracted_indices(self):
+        assert MATMUL_EINSUM.contracted_indices == ("k",)
+
+    def test_is_matmul(self):
+        assert MATMUL_EINSUM.is_matmul
+
+    def test_non_matmul_contraction(self):
+        spec = EinsumSpec.parse("Z[m] = A[m,k] * B[k,m]")
+        assert not spec.is_matmul
+
+    def test_parse_whitespace_tolerant(self):
+        spec = EinsumSpec.parse("  Z[ m , n ]  =  A[ m , k ] * B[ k , n ] ")
+        assert spec.output_indices == ("m", "n")
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(ValueError):
+            EinsumSpec.parse("Z = A * B")
+
+    def test_validate_shapes_ok(self):
+        extents = MATMUL_EINSUM.validate_shapes({"A": (3, 4), "B": (4, 5)})
+        assert extents == {"m": 3, "k": 4, "n": 5}
+
+    def test_validate_shapes_conflict(self):
+        with pytest.raises(ValueError):
+            MATMUL_EINSUM.validate_shapes({"A": (3, 4), "B": (5, 6)})
+
+    def test_validate_shapes_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            MATMUL_EINSUM.validate_shapes({"A": (3, 4, 5)})
+
+
+class TestOperationCounts:
+    def test_identity_times_identity(self):
+        eye = SparseMatrix.identity(5)
+        counts = count_spmspm_operations(eye, eye)
+        assert counts.effectual_multiplies == 5
+        assert counts.output_nonzeros == 5
+        assert counts.dense_multiplies == 125
+
+    def test_tiny_matrix_gram(self, tiny_dense_matrix):
+        counts = count_spmspm_operations(tiny_dense_matrix, tiny_dense_matrix.transpose())
+        # sum over k of nnz(col k of A) * nnz(row k of A^T) = sum col_occ^2.
+        col_occ = tiny_dense_matrix.col_occupancies()
+        assert counts.effectual_multiplies == int((col_occ ** 2).sum())
+        assert counts.output_nonzeros == tiny_dense_matrix.gram().nnz
+
+    def test_compute_saving(self, powerlaw):
+        counts = count_spmspm_operations(powerlaw, powerlaw.transpose())
+        assert counts.compute_saving > 1.0
+
+    def test_dimension_mismatch_raises(self, tiny_dense_matrix):
+        with pytest.raises(ValueError):
+            count_spmspm_operations(tiny_dense_matrix, SparseMatrix.identity(3))
+
+
+class TestMatmulWorkload:
+    def test_gram_shapes(self, tiny_dense_matrix):
+        workload = MatmulWorkload.gram(tiny_dense_matrix)
+        assert workload.m == 4 and workload.k == 4 and workload.n == 4
+
+    def test_gram_b_is_transpose(self, tiny_dense_matrix):
+        workload = MatmulWorkload.gram(tiny_dense_matrix)
+        assert workload.b == tiny_dense_matrix.transpose()
+
+    def test_reference_result_matches_scipy(self, tiny_dense_matrix):
+        workload = MatmulWorkload.gram(tiny_dense_matrix)
+        assert workload.reference_result() == tiny_dense_matrix.gram()
+
+    def test_incompatible_operands_raise(self, tiny_dense_matrix):
+        with pytest.raises(ValueError):
+            MatmulWorkload(a=tiny_dense_matrix, b=SparseMatrix.identity(3))
+
+    def test_einsum_property(self, tiny_dense_matrix):
+        assert MatmulWorkload.gram(tiny_dense_matrix).einsum.is_matmul
+
+    def test_operation_counts_consistent(self, banded):
+        workload = MatmulWorkload.gram(banded)
+        counts = workload.operation_counts()
+        assert counts.output_nonzeros == workload.reference_result().nnz

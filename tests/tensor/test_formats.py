@@ -1,0 +1,112 @@
+"""Tests for the CSF fiber-tree format and fiber intersection."""
+
+import pytest
+
+from repro.tensor.formats import CompressedSparseFiber, Fiber, intersection_steps
+from repro.tensor.sparse import SparseMatrix
+
+
+class TestFiber:
+    def test_occupancy(self):
+        fiber = Fiber([1, 4, 9], [1.0, 2.0, 3.0])
+        assert fiber.occupancy == 3
+
+    def test_lookup_present(self):
+        fiber = Fiber([1, 4, 9], ["a", "b", "c"])
+        assert fiber.lookup(4) == "b"
+
+    def test_lookup_absent(self):
+        fiber = Fiber([1, 4], ["a", "b"])
+        assert fiber.lookup(3) is None
+
+    def test_iteration(self):
+        fiber = Fiber([2, 5], [10.0, 20.0])
+        assert list(fiber) == [(2, 10.0), (5, 20.0)]
+
+    def test_requires_sorted_coords(self):
+        with pytest.raises(ValueError):
+            Fiber([3, 1], [1.0, 2.0])
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            Fiber([1, 2], [1.0])
+
+    def test_intersect(self):
+        a = Fiber([1, 3, 5, 7], ["a1", "a3", "a5", "a7"])
+        b = Fiber([3, 4, 7], ["b3", "b4", "b7"])
+        result = a.intersect(b)
+        assert [c for c, _, _ in result] == [3, 7]
+        assert result[0][1:] == ("a3", "b3")
+
+    def test_intersect_disjoint(self):
+        assert Fiber([1], ["x"]).intersect(Fiber([2], ["y"])) == []
+
+
+class TestIntersectionSteps:
+    def test_identical_fibers(self):
+        fiber = Fiber([1, 2, 3], [1.0, 1.0, 1.0])
+        assert intersection_steps(fiber, fiber) == 3
+
+    def test_disjoint_fibers(self):
+        a = Fiber([1, 2, 3], [1] * 3)
+        b = Fiber([10, 11], [1] * 2)
+        # Steps advance the smaller coordinate until one stream is exhausted.
+        assert intersection_steps(a, b) == 3
+
+    def test_bounded_by_sum_of_lengths(self):
+        a = Fiber([1, 4, 6, 9], [1] * 4)
+        b = Fiber([2, 4, 7, 9, 11], [1] * 5)
+        assert intersection_steps(a, b) <= len(a.coords) + len(b.coords)
+
+    def test_empty_fiber(self):
+        assert intersection_steps(Fiber([], []), Fiber([1], [1.0])) == 0
+
+
+class TestCompressedSparseFiber:
+    def test_data_words_equals_nnz(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        assert csf.data_words == tiny_dense_matrix.nnz
+
+    def test_metadata_counts_rows_and_nonzeros(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        # 3 populated rows + 5 nonzeros.
+        assert csf.metadata_words == 3 + 5
+
+    def test_footprint(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        assert csf.footprint_words == csf.data_words + csf.metadata_words
+
+    def test_populated_rows(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        assert list(csf.populated_rows) == [0, 2, 3]
+
+    def test_row_fiber_contents(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        fiber = csf.row_fiber(2)
+        assert fiber.coords == [0, 3]
+        assert fiber.payloads == [3.0, 4.0]
+
+    def test_row_fiber_empty_row(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        assert csf.row_fiber(1).occupancy == 0
+
+    def test_row_fiber_out_of_range(self, tiny_dense_matrix):
+        csf = CompressedSparseFiber(tiny_dense_matrix)
+        with pytest.raises(IndexError):
+            csf.row_fiber(99)
+
+    def test_top_fiber_structure(self, tiny_dense_matrix):
+        top = CompressedSparseFiber(tiny_dense_matrix).top_fiber()
+        assert top.coords == [0, 2, 3]
+        assert all(isinstance(p, Fiber) for p in top.payloads)
+
+    def test_to_dict_roundtrip(self, tiny_dense_matrix):
+        mapping = CompressedSparseFiber(tiny_dense_matrix).to_dict()
+        rebuilt_nnz = sum(len(cols) for cols in mapping.values())
+        assert rebuilt_nnz == tiny_dense_matrix.nnz
+        assert mapping[0] == {0: 1.0, 2: 2.0}
+
+    def test_consistency_on_generated_matrix(self, powerlaw):
+        csf = CompressedSparseFiber(powerlaw)
+        assert csf.data_words == powerlaw.nnz
+        assert csf.metadata_words == len(csf.populated_rows) + powerlaw.nnz

@@ -1,0 +1,85 @@
+"""Tests for the synthetic evaluation workload suite."""
+
+import pytest
+
+from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
+
+
+class TestDefaultSuite:
+    def test_has_22_workloads(self):
+        assert len(default_suite()) == 22
+
+    def test_names_match_table2(self):
+        names = default_suite().names
+        assert names[0] == "rma10"
+        assert names[-1] == "roadNet-CA"
+        assert "amazon0312" in names and "web-Google" in names
+
+    def test_categories(self):
+        suite = default_suite()
+        linear = [s for s in suite if s.category == "linear-system"]
+        graph = [s for s in suite if s.category == "graph"]
+        assert len(linear) == 9
+        assert len(graph) == 13
+
+    def test_specs_have_paper_metadata(self):
+        for spec in default_suite():
+            assert spec.paper_rows > 1000
+            assert 0.99 < spec.paper_sparsity < 1.0
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            default_suite().matrix("not-a-workload")
+
+    def test_contains(self):
+        suite = default_suite()
+        assert "rma10" in suite
+        assert "nope" not in suite
+
+
+class TestSmallSuite:
+    def test_has_three_workloads(self, test_suite):
+        assert len(test_suite) == 3
+
+    def test_matrices_are_sparse(self, test_suite):
+        for name in test_suite.names:
+            matrix = test_suite.matrix(name)
+            assert matrix.sparsity > 0.9
+            assert matrix.nnz > 0
+
+    def test_matrix_is_cached(self, test_suite):
+        assert test_suite.matrix("tiny-fem") is test_suite.matrix("tiny-fem")
+
+    def test_deterministic_across_instances(self):
+        a = small_suite().matrix("tiny-social")
+        b = small_suite().matrix("tiny-social")
+        assert a == b
+
+    def test_matrices_builds_all(self, test_suite):
+        matrices = test_suite.matrices()
+        assert set(matrices) == set(test_suite.names)
+
+    def test_spec_lookup(self, test_suite):
+        spec = test_suite.spec("tiny-road")
+        assert spec.category == "graph"
+
+
+class TestSuiteMechanics:
+    def test_duplicate_names_rejected(self, test_suite):
+        specs = [test_suite.spec("tiny-fem"), test_suite.spec("tiny-fem")]
+        with pytest.raises(ValueError):
+            WorkloadSuite(specs)
+
+    def test_subset_preserves_matrices(self, test_suite):
+        subset = test_suite.subset(["tiny-fem"])
+        assert subset.names == ["tiny-fem"]
+        assert subset.matrix("tiny-fem") == test_suite.matrix("tiny-fem")
+
+    def test_subset_unknown_name_raises(self, test_suite):
+        with pytest.raises(KeyError):
+            test_suite.subset(["missing"])
+
+    def test_different_seed_changes_matrices(self):
+        a = small_suite(seed=1).matrix("tiny-social")
+        b = small_suite(seed=2).matrix("tiny-social")
+        assert a != b

@@ -1,0 +1,54 @@
+"""Tests for position-space (uniform occupancy) tiling."""
+
+import pytest
+
+from repro.tiling.position import position_space_tiling
+
+
+class TestPositionSpaceTiling:
+    def test_uniform_occupancy(self, powerlaw):
+        capacity = 100
+        tiling = position_space_tiling(powerlaw, capacity)
+        occupancies = tiling.occupancies()
+        assert all(occupancies[:-1] == capacity)
+        assert 0 < occupancies[-1] <= capacity
+
+    def test_partition(self, powerlaw):
+        tiling = position_space_tiling(powerlaw, 128)
+        tiling.validate()
+
+    def test_number_of_tiles(self, powerlaw):
+        capacity = 250
+        tiling = position_space_tiling(powerlaw, capacity)
+        assert tiling.num_tiles == -(-powerlaw.nnz // capacity)
+
+    def test_perfect_buffer_utilization(self, powerlaw):
+        tiling = position_space_tiling(powerlaw, 100)
+        assert tiling.buffer_utilization(100) > 0.95
+
+    def test_never_overbooks(self, powerlaw):
+        tiling = position_space_tiling(powerlaw, 77)
+        assert tiling.overbooking_rate(77) == 0.0
+
+    def test_bounding_boxes_cover_nonzeros(self, tiny_dense_matrix):
+        tiling = position_space_tiling(tiny_dense_matrix, 2)
+        for tile in tiling:
+            assert tile.num_rows >= 1 and tile.num_cols >= 1
+
+    def test_operand_matching_tax(self, powerlaw):
+        other_nnz = 12_345
+        tiling = position_space_tiling(powerlaw, 100, other_operand_nnz=other_nnz)
+        assert tiling.tax.runtime_matching_elements == other_nnz * tiling.num_tiles
+
+    def test_no_tax_without_other_operand(self, powerlaw):
+        tiling = position_space_tiling(powerlaw, 100)
+        assert tiling.tax.total_elements == 0
+
+    def test_invalid_capacity_raises(self, powerlaw):
+        with pytest.raises(ValueError):
+            position_space_tiling(powerlaw, 0)
+
+    def test_capacity_larger_than_nnz(self, tiny_dense_matrix):
+        tiling = position_space_tiling(tiny_dense_matrix, 1000)
+        assert tiling.num_tiles == 1
+        assert tiling[0].occupancy == tiny_dense_matrix.nnz

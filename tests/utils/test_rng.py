@@ -1,0 +1,60 @@
+"""Tests for deterministic RNG handling."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import resolve_rng, spawn
+
+
+class TestResolveRng:
+    def test_none_gives_default_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_none_is_deterministic(self):
+        a = resolve_rng(None).integers(0, 1000, size=8)
+        b = resolve_rng(None).integers(0, 1000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_int_seed_is_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, size=8)
+        b = resolve_rng(42).integers(0, 1000, size=8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(0, 10**9)
+        b = resolve_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert resolve_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(resolve_rng(np.int64(5)), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        children = spawn(0, 5)
+        assert len(children) == 5
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn(7, 3)]
+        b = [g.integers(0, 10**9) for g in spawn(7, 3)]
+        assert a == b
+
+    def test_spawn_children_independent(self):
+        a, b = spawn(7, 2)
+        assert a.integers(0, 10**9) != b.integers(0, 10**9)
+
+    def test_spawn_zero(self):
+        assert spawn(1, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)

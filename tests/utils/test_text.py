@@ -1,0 +1,56 @@
+"""Tests for plain-text report formatting."""
+
+import pytest
+
+from repro.utils.text import format_histogram, format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["a", "b"], [(1, 2), (3, 4)])
+        assert "a" in text and "b" in text
+        assert "1" in text and "4" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_floats_use_float_format(self):
+        text = format_table(["x"], [(3.14159,)], float_fmt="{:.2f}")
+        assert "3.14" in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_columns_aligned(self):
+        text = format_table(["name", "v"], [("longer-name", 1), ("x", 22)])
+        lines = text.splitlines()
+        # All data lines have the value column starting at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        text = format_series([1, 2, 3], [0.1, 0.2, 0.3], x_name="k", y_name="mae")
+        assert "k" in text and "mae" in text
+        assert "0.3" in text
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_series([1, 2], [1.0])
+
+
+class TestFormatHistogram:
+    def test_bars_scale_with_counts(self):
+        text = format_histogram([0, 1, 2], [1, 10])
+        lines = text.splitlines()
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_requires_one_more_edge_than_count(self):
+        with pytest.raises(ValueError):
+            format_histogram([0, 1], [1, 2])
+
+    def test_handles_all_zero_counts(self):
+        text = format_histogram([0, 1, 2], [0, 0])
+        assert "histogram" in text

@@ -1,0 +1,96 @@
+"""Tests for the argument-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(1.5, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            check_positive_int(-3, "block_rows")
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-2, "x")
+
+
+class TestPositive:
+    def test_accepts_float(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_accepts_int(self):
+        assert check_positive(2, "x") == 2.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive(0.0, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_positive("1", "x")
+
+
+class TestNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestFraction:
+    def test_accepts_half(self):
+        assert check_fraction(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0])
+    def test_accepts_endpoints_by_default(self, value):
+        assert check_fraction(value, "x") == value
+
+    def test_exclusive_low_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "x", inclusive_low=False)
+
+    def test_exclusive_high_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "x", inclusive_high=False)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError):
+            check_fraction(value, "x")
+
+    def test_probability_alias(self):
+        assert check_probability(0.25, "x") == 0.25
