@@ -1,0 +1,47 @@
+"""End-to-end performance regression gate for the evaluation pipeline.
+
+The seed implementation spent ~90% of ``ExperimentContext.full().all_reports()``
+materializing per-tile ``Tile``/``Range`` objects; the vectorized tiling layer
+plus the memoization caches brought the cold end-to-end wall time from ~3.3s
+(seed, on the development machine) to well under a second.  This benchmark
+keeps that property: a *cold* full-suite evaluation — all process-wide memos
+cleared — must finish within the ISSUE's 1.5s budget, and a warm context must
+be markedly cheaper than a cold one.
+"""
+
+import time
+
+from repro.experiments.runner import ExperimentContext, clear_process_caches
+
+#: The ISSUE's absolute end-to-end budget for a cold full-suite evaluation.
+COLD_BUDGET_SECONDS = 1.5
+
+
+def _cold_all_reports():
+    clear_process_caches()
+    return ExperimentContext.full().all_reports()
+
+
+def test_cold_all_reports_within_budget(benchmark, run_once):
+    start = time.perf_counter()
+    reports = run_once(benchmark, _cold_all_reports)
+    elapsed = time.perf_counter() - start
+    assert len(reports) == 22
+    assert all(len(per_variant) == 3 for per_variant in reports.values())
+    assert elapsed < COLD_BUDGET_SECONDS, (
+        f"cold all_reports took {elapsed:.2f}s; budget is {COLD_BUDGET_SECONDS}s "
+        "(seed took ~3.3s — see PERFORMANCE.md)"
+    )
+
+
+def test_warm_context_reuses_memoized_pipeline():
+    # Warm the process-wide memos, then measure a brand-new context.
+    ExperimentContext.full().all_reports()
+    start = time.perf_counter()
+    reports = ExperimentContext.full().all_reports()
+    elapsed = time.perf_counter() - start
+    assert len(reports) == 22
+    assert elapsed < 0.5, (
+        f"warm all_reports took {elapsed:.2f}s; the report/matrix memos should "
+        "make repeated contexts nearly free"
+    )

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""End-to-end pipeline benchmark: wall time per stage of ``all_reports()``.
+
+Writes ``BENCH_pipeline.json`` at the repository root so successive PRs have a
+performance trajectory to compare against.  Stages:
+
+* ``matrix_generation`` — building the 22 synthetic suite matrices;
+* ``operation_counts`` — effectual multiplies / output occupancy per workload;
+* ``evaluation`` — tiling + traffic + energy for all workloads × variants;
+* ``all_reports_cold`` — a fresh ``ExperimentContext.full().all_reports()``
+  in the same process *with every process-wide memo cleared first* (what a
+  cold process pays);
+* ``all_reports_warm`` — a fresh context afterwards (what every *subsequent*
+  context in a process pays, exercising the memoization layer).
+
+Run with::
+
+    PYTHONPATH=src python scripts/bench_pipeline.py [--output BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.runner import (  # noqa: E402
+    ExperimentContext,
+    clear_process_caches,
+)
+
+#: Wall time of ``ExperimentContext.full().all_reports()`` at the seed commit
+#: (before the tiling layer was vectorized), best of 3 on the machine this PR
+#: was developed on.  Recorded here so BENCH_pipeline.json always carries the
+#: seed-vs-current comparison; re-measure by checking out the seed commit and
+#: running ``scripts/bench_pipeline.py`` there.
+SEED_ALL_REPORTS_SECONDS = 3.329
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    clear_process_caches()
+
+    context = ExperimentContext.full()
+    names = context.workload_names
+
+    generation = _timed(lambda: [context.matrix(n) for n in names])
+    counts = _timed(lambda: [context.workload(n).operation_counts for n in names])
+    evaluation = _timed(context.all_reports)
+
+    clear_process_caches()
+    cold = _timed(lambda: ExperimentContext.full().all_reports())
+
+    warm = _timed(lambda: ExperimentContext.full().all_reports())
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "seed": {"all_reports_cold_seconds": SEED_ALL_REPORTS_SECONDS},
+        "current": {
+            "matrix_generation_seconds": round(generation, 4),
+            "operation_counts_seconds": round(counts, 4),
+            "evaluation_seconds": round(evaluation, 4),
+            "all_reports_cold_seconds": round(cold, 4),
+            "all_reports_warm_seconds": round(warm, 4),
+        },
+        "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
+        "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_pipeline.json",
+                        help="where to write the JSON result")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark()
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+
+    current = result["current"]
+    print(f"matrix generation : {current['matrix_generation_seconds']:.3f}s")
+    print(f"operation counts  : {current['operation_counts_seconds']:.3f}s")
+    print(f"evaluation        : {current['evaluation_seconds']:.3f}s")
+    print(f"all_reports cold  : {current['all_reports_cold_seconds']:.3f}s "
+          f"({result['speedup_cold_vs_seed']:.1f}x vs seed "
+          f"{SEED_ALL_REPORTS_SECONDS:.3f}s)")
+    print(f"all_reports warm  : {current['all_reports_warm_seconds']:.3f}s "
+          f"({result['speedup_warm_vs_seed']:.1f}x vs seed)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -123,7 +123,13 @@ class ExTensorModel:
         return self.evaluate_workload(workload)
 
     def evaluate_workload(self, workload: WorkloadDescriptor) -> Dict[str, PerformanceReport]:
-        """Evaluate a prepared workload descriptor on every variant."""
+        """Evaluate a prepared workload descriptor on every variant.
+
+        Tilings are memoized per operand matrix (see
+        :mod:`repro.core.overbooking`), so the per-variant evaluations share
+        the transpose, the row-block occupancy scans and — across repeated
+        calls — the tilings themselves.
+        """
         return {
             variant.name: self.engine.evaluate(workload, variant.spec)
             for variant in self.variants

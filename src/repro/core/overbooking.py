@@ -17,12 +17,23 @@ accelerator variant:
 
 All three share the :class:`TilerResult` interface consumed by the
 accelerator model and the experiment harness.
+
+Tiler results are **memoized per matrix**: ``TilerResult`` is immutable and a
+tiler is a deterministic function of ``(matrix, strategy parameters,
+capacity)``, so each tiler stores its result in ``matrix.memo`` keyed by its
+configuration.  The engine evaluates every workload under three variants and
+two memory levels, and the experiment harness sweeps parameters on top — the
+cache makes each distinct tiling computed exactly once per matrix instance.
+(The overbooking tiler only caches when its random source is a seed, i.e.
+reproducible; passing a live ``numpy`` generator bypasses the cache.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+
+import numpy as np
 
 from repro.core.swiftiles import Swiftiles, SwiftilesConfig, SwiftilesEstimate
 from repro.tensor.sparse import SparseMatrix
@@ -72,6 +83,20 @@ class TilerResult:
         return self.tiling.buffer_utilization(capacity)
 
 
+def _memoized_tile(matrix: SparseMatrix, cache_key, build):
+    """Look up / populate a :class:`TilerResult` in ``matrix.memo``.
+
+    ``cache_key`` of ``None`` disables memoization (non-reproducible tilers).
+    """
+    if cache_key is None:
+        return build()
+    result = matrix.memo.get(cache_key)
+    if result is None:
+        result = build()
+        matrix.memo[cache_key] = result
+    return result
+
+
 class NaiveTiler:
     """ExTensor-N's tiling: uniform shape sized for the dense worst case."""
 
@@ -84,6 +109,10 @@ class NaiveTiler:
     def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         """Tile ``matrix`` for a buffer of ``capacity`` words, assuming density."""
         check_positive_int(capacity, "capacity")
+        key = ("tiler", self.name, self._min_block_rows, capacity)
+        return _memoized_tile(matrix, key, lambda: self._build(matrix, capacity))
+
+    def _build(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         block_rows = max(self._min_block_rows,
                          dense_row_block_rows(capacity, matrix.num_cols))
         block_rows = min(block_rows, matrix.num_rows)
@@ -105,6 +134,10 @@ class PrescientTiler:
     def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         """Tile ``matrix`` using full knowledge of per-tile occupancies."""
         check_positive_int(capacity, "capacity")
+        key = ("tiler", self.name, capacity)
+        return _memoized_tile(matrix, key, lambda: self._build(matrix, capacity))
+
+    def _build(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         block_rows, tax = prescient_row_block_rows(matrix, capacity)
         block_rows = min(max(1, block_rows), matrix.num_rows)
         tiling = row_block_tiling(matrix, block_rows, strategy=self.name, tax=tax)
@@ -126,9 +159,26 @@ class OverbookingTiler:
         self.config = config or SwiftilesConfig()
         self._rng = rng
 
+    def _cache_key(self, capacity: int):
+        """Memoization key, or ``None`` when the random source is stateful.
+
+        A seed (or the default ``None`` seed) makes the sampling stream a pure
+        function of the configuration, so results can be shared; a live
+        generator advances with every call and must not be cached.
+        """
+        if self._rng is not None and not isinstance(self._rng, (int, np.integer)):
+            return None
+        cfg = self.config
+        return ("tiler", self.name, cfg.overbooking_target, cfg.samples_in_tail,
+                cfg.sample_all_tiles, self._rng, capacity)
+
     def tile(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         """Tile ``matrix`` targeting ``config.overbooking_target`` overbooked tiles."""
         check_positive_int(capacity, "capacity")
+        return _memoized_tile(matrix, self._cache_key(capacity),
+                              lambda: self._build(matrix, capacity))
+
+    def _build(self, matrix: SparseMatrix, capacity: int) -> TilerResult:
         estimator = Swiftiles(self.config, rng=self._rng)
         estimate = estimator.estimate(matrix, capacity)
         block_rows = max(1, int(round(estimate.target_size / matrix.num_cols)))

@@ -174,6 +174,8 @@ class Swiftiles:
         num_cols = matrix.num_cols
         block_rows = aspect_rows or max(1, int(round(tile_size / num_cols)))
         block_rows = min(block_rows, matrix.num_rows)
+        # The per-block occupancy array is memoized on the matrix, so repeated
+        # estimates (parameter sweeps, multiple variants) re-read it for free.
         occupancies = matrix.row_block_occupancies(block_rows)
         num_tiles = len(occupancies)
 

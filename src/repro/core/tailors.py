@@ -27,7 +27,7 @@ operation-by-operation example of Fig. 5 can be reproduced as a golden test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.buffers.base import BufferFullError, BufferStallError, StorageIdiom
 from repro.buffers.credits import CreditChannel
@@ -108,6 +108,12 @@ class Tailors(StorageIdiom):
         self._fifo_next = 0
         self._fill_stamp = 0
         self._slot_stamp: List[int] = [0] * config.capacity
+        # Index → physical slot for the FIFO-managed region, kept in stream
+        # (insertion) order: the first key is always the least recently
+        # streamed element still resident.  Maintained on every overwriting
+        # fill and cleared on shrink/reset, so FIFO reads and the FIFO-offset
+        # bookkeeping are O(1) instead of a linear scan of the region.
+        self._streamed_slots: Dict[int, int] = {}
         self._credits = CreditChannel(config.capacity)
         # Tile indices ever bumped (streamed) — used by reuse accounting.
         self._streamed_fills = 0
@@ -158,26 +164,18 @@ class Tailors(StorageIdiom):
         changing the buffet read semantics (Section 3.3.2).  Returns 0 when
         the buffer is not overbooked.
         """
-        if not self._overbooked:
+        if not self._overbooked or not self._streamed_slots:
             return 0
-        oldest_index: Optional[int] = None
-        oldest_stamp: Optional[int] = None
-        for offset in range(self.fifo_head, self.capacity):
-            idx = self._slot_index[offset]
-            if idx is None:
-                continue
-            stamp = self._slot_stamp[offset]
-            if oldest_stamp is None or stamp < oldest_stamp:
-                oldest_stamp = stamp
-                oldest_index = idx
-        if oldest_index is None:
-            return 0
+        # Streaming writes evict in insertion order, so the first key of the
+        # index→slot map is the least recently streamed resident element.
+        oldest_index = next(iter(self._streamed_slots))
         return oldest_index - self.fifo_head
 
     def reset(self) -> None:
         self._slots = [None] * self.capacity
         self._slot_index = [None] * self.capacity
         self._slot_stamp = [0] * self.capacity
+        self._streamed_slots = {}
         self._occupancy = 0
         self._overbooked = False
         self._fifo_next = 0
@@ -256,9 +254,15 @@ class Tailors(StorageIdiom):
             for offset in range(self.fifo_head, self.capacity):
                 self._slots[offset] = None
                 self._slot_index[offset] = None
+            self._streamed_slots = {}
             self._fifo_next = self.fifo_head
 
         offset = self._fifo_next
+        evicted = self._slot_index[offset]
+        if evicted is not None and self._streamed_slots.get(evicted) == offset:
+            del self._streamed_slots[evicted]
+        self._streamed_slots.pop(index, None)
+        self._streamed_slots[index] = offset
         self._slots[offset] = value
         self._slot_index[offset] = index
         self._fill_stamp += 1
@@ -337,18 +341,29 @@ class Tailors(StorageIdiom):
             for o in range(self.capacity)
             if self._slot_index[o] is not None and self._slot_index[o] >= num
         ]
-        self._slots = [None] * self.capacity
-        self._slot_index = [None] * self.capacity
-        self._slot_stamp = [0] * self.capacity
-        # Re-base the surviving elements to their new indices at the head.
-        remaining.sort(key=lambda item: item[0])
-        for new_offset, (old_index, value, stamp) in enumerate(remaining):
-            if new_offset >= self.capacity:
-                break
-            self._slots[new_offset] = value
-            self._slot_index[new_offset] = old_index - num
-            self._slot_stamp[new_offset] = stamp
-        self._occupancy = min(len(remaining), self.capacity)
+        if remaining:
+            self._slots = [None] * self.capacity
+            self._slot_index = [None] * self.capacity
+            self._slot_stamp = [0] * self.capacity
+            # Re-base the surviving elements to their new indices at the head.
+            remaining.sort(key=lambda item: item[0])
+            for new_offset, (old_index, value, stamp) in enumerate(remaining):
+                if new_offset >= self.capacity:
+                    break
+                self._slots[new_offset] = value
+                self._slot_index[new_offset] = old_index - num
+                self._slot_stamp[new_offset] = stamp
+            self._occupancy = min(len(remaining), self.capacity)
+        else:
+            # Nothing survives: invalidate the occupied slots in place rather
+            # than allocating three fresh full-capacity arrays.
+            for offset in range(self.capacity):
+                if self._slot_index[offset] is not None:
+                    self._slots[offset] = None
+                    self._slot_index[offset] = None
+                    self._slot_stamp[offset] = 0
+            self._occupancy = 0
+        self._streamed_slots = {}
         self._overbooked = False
         self._fifo_next = 0
         self._credits.release(min(num, self._credits.initial_credits - self._credits.available))
@@ -358,7 +373,4 @@ class Tailors(StorageIdiom):
     # Internal helpers
     # ------------------------------------------------------------------ #
     def _find_streamed(self, index: int) -> Optional[int]:
-        for offset in range(self.fifo_head, self.capacity):
-            if self._slot_index[offset] == index:
-                return offset
-        return None
+        return self._streamed_slots.get(index)

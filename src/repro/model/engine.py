@@ -175,7 +175,15 @@ class AnalyticalEngine:
         glb_cycles = glb.total_words / arch.glb_bandwidth_words_per_cycle
         compute_cycles = self._pe_array.compute_cycles(effectual)
         cycles = max(dram_cycles, glb_cycles, compute_cycles)
-        bound = {dram_cycles: "dram", glb_cycles: "glb", compute_cycles: "compute"}[cycles]
+        # Deterministic tie-break (dram > glb > compute): a float-keyed dict
+        # silently collapses tied cycle counts and reports whichever bottleneck
+        # happened to be inserted last.
+        if dram_cycles >= glb_cycles and dram_cycles >= compute_cycles:
+            bound = "dram"
+        elif glb_cycles >= compute_cycles:
+            bound = "glb"
+        else:
+            bound = "compute"
 
         # ---------------- Energy ---------------- #
         intersection_steps = 2.0 * effectual + (a.nnz + b.nnz)

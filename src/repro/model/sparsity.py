@@ -12,6 +12,7 @@ harness consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 import numpy as np
@@ -51,16 +52,21 @@ class TileOccupancyModel:
         check_positive_int(self.capacity, "capacity")
         check_positive_int(self.fifo_words, "fifo_words")
 
-    @property
+    @cached_property
     def occupancies(self) -> np.ndarray:
-        """Per-tile occupancy array."""
+        """Per-tile occupancy array (read-only, shared with the tiling).
+
+        The tiling stores its occupancies as one array, so this is a cached
+        reference, not a rebuild — every property below is a vectorized
+        reduction over it.
+        """
         return self.tiler_result.tiling.occupancies()
 
     @property
     def num_tiles(self) -> int:
         return int(len(self.occupancies))
 
-    @property
+    @cached_property
     def total_nonzeros(self) -> int:
         return int(self.occupancies.sum())
 
@@ -69,7 +75,7 @@ class TileOccupancyModel:
         """Words of an overbooked tile that stay resident under Tailors."""
         return max(1, self.capacity - self.fifo_words)
 
-    @property
+    @cached_property
     def overbooking_rate(self) -> float:
         """Fraction of tiles whose occupancy exceeds the capacity."""
         occ = self.occupancies
@@ -77,7 +83,7 @@ class TileOccupancyModel:
             return 0.0
         return float((occ > self.capacity).mean())
 
-    @property
+    @cached_property
     def buffer_utilization(self) -> float:
         """Average fraction of the buffer occupied while tiles are resident."""
         occ = self.occupancies
@@ -85,7 +91,7 @@ class TileOccupancyModel:
             return 0.0
         return float(np.minimum(occ, self.capacity).mean() / self.capacity)
 
-    @property
+    @cached_property
     def bumped_elements(self) -> int:
         """Nonzeros that exceed the *resident* portion across overbooked tiles."""
         occ = self.occupancies

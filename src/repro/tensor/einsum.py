@@ -157,6 +157,40 @@ class OperationCounts:
         return self.dense_multiplies / self.effectual_multiplies
 
 
+def _output_pattern_nnz(a: SparseMatrix, b: SparseMatrix) -> int:
+    """Stored nonzeros of ``A @ B`` without computing the product's values.
+
+    SciPy's SpGEMM is two-phase (SMMP): a symbolic pass sizes the output
+    pattern, then a numeric pass fills it.  The stored ``nnz`` of the product
+    equals the symbolic pattern size (SciPy does not prune entries that cancel
+    numerically), so running only the symbolic pass yields the identical count
+    at a fraction of the cost.  Falls back to the full (memoized) multiply if
+    the SciPy internal is unavailable.
+    """
+    try:
+        from scipy.sparse import _sparsetools
+        csr_matmat_maxnnz = _sparsetools.csr_matmat_maxnnz
+        from scipy.sparse import _sputils
+        get_index_dtype = _sputils.get_index_dtype
+    except (ImportError, AttributeError):
+        # Raw SciPy product: its stored nnz is the pattern size (SciPy keeps
+        # entries that cancel numerically), matching the fast path exactly.
+        return int((a.csr @ b.csr).nnz)
+    left = a.csr
+    right = b.csr
+    m, _ = left.shape
+    n = right.shape[1]
+    idx_dtype = get_index_dtype(
+        (left.indptr, left.indices, right.indptr, right.indices))
+    return int(csr_matmat_maxnnz(
+        m, n,
+        left.indptr.astype(idx_dtype, copy=False),
+        left.indices.astype(idx_dtype, copy=False),
+        right.indptr.astype(idx_dtype, copy=False),
+        right.indices.astype(idx_dtype, copy=False),
+    ))
+
+
 def count_spmspm_operations(a: SparseMatrix, b: SparseMatrix) -> OperationCounts:
     """Count effectual multiplies and output nonzeros of ``A @ B``.
 
@@ -168,16 +202,22 @@ def count_spmspm_operations(a: SparseMatrix, b: SparseMatrix) -> OperationCounts
         raise ValueError(
             f"inner dimensions do not match: {a.num_cols} vs {b.num_rows}"
         )
+    key = ("spmspm_operations", b.uid)
+    cached = a.memo.get(key)
+    if cached is not None:
+        return cached
     a_col_occ = a.col_occupancies()
     b_row_occ = b.row_occupancies()
     effectual = int(np.dot(a_col_occ.astype(np.float64), b_row_occ.astype(np.float64)))
-    output_nnz = int((a.csr @ b.csr).nnz)
+    output_nnz = _output_pattern_nnz(a, b)
     dense = a.num_rows * a.num_cols * b.num_cols
-    return OperationCounts(
+    counts = OperationCounts(
         effectual_multiplies=effectual,
         output_nonzeros=output_nnz,
         dense_multiplies=dense,
     )
+    a.memo[key] = counts
+    return counts
 
 
 @dataclass(frozen=True)

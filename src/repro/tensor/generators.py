@@ -37,9 +37,21 @@ from repro.utils.validation import check_fraction, check_positive_int
 
 
 def _dedupe(rows: np.ndarray, cols: np.ndarray, num_cols: int) -> tuple[np.ndarray, np.ndarray]:
-    """Remove duplicate (row, col) pairs, preserving no particular order."""
+    """Remove duplicate (row, col) pairs, preserving no particular order.
+
+    Equivalent to ``np.unique`` on the linearized keys (the result is the
+    sorted unique key set) but via an explicit sort + neighbor mask, which is
+    substantially faster than the hash-based unique for these sizes.
+    """
     keys = rows.astype(np.int64) * np.int64(num_cols) + cols.astype(np.int64)
-    unique = np.unique(keys)
+    if keys.size == 0:
+        empty = keys.astype(np.int64)
+        return empty, empty.copy()
+    keys.sort(kind="quicksort")
+    mask = np.empty(keys.size, dtype=bool)
+    mask[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    unique = keys[mask]
     return (unique // num_cols).astype(np.int64), (unique % num_cols).astype(np.int64)
 
 

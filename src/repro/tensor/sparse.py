@@ -16,13 +16,23 @@ adds the operations the rest of the library needs:
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+import itertools
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.tensor.coords import Range, Shape
 from repro.utils.validation import check_positive_int
+
+#: Monotonically increasing identity tokens for cache keys (see ``uid``).
+_UID_COUNTER = itertools.count()
+
+
+def _read_only(array: np.ndarray) -> np.ndarray:
+    """Mark ``array`` read-only so cached results cannot be mutated in place."""
+    array.setflags(write=False)
+    return array
 
 
 class SparseMatrix:
@@ -40,13 +50,37 @@ class SparseMatrix:
     """
 
     def __init__(self, matrix: sp.spmatrix | np.ndarray, name: str = "unnamed"):
-        csr = sp.csr_matrix(matrix, copy=True)
+        self._init_from_csr(sp.csr_matrix(matrix, copy=True), name)
+
+    @classmethod
+    def _from_owned_csr(cls, csr: sp.csr_matrix, name: str) -> "SparseMatrix":
+        """Wrap a CSR matrix the caller owns, without the defensive copy.
+
+        Internal fast path for derived matrices (transposes, products) whose
+        storage is freshly allocated and never aliased by the caller.
+        """
+        obj = cls.__new__(cls)
+        obj._init_from_csr(sp.csr_matrix(csr, copy=False), name)
+        return obj
+
+    def _init_from_csr(self, csr: sp.csr_matrix, name: str) -> None:
         csr.eliminate_zeros()
         csr.sort_indices()
         if csr.ndim != 2:
             raise ValueError("SparseMatrix only supports two-dimensional tensors")
         self._csr = csr
         self._name = str(name)
+        # Memoized derived results.  A SparseMatrix is immutable, so every
+        # pure function of the matrix can be cached on the instance; the
+        # caches below are what lets the evaluation pipeline re-tile, re-scan
+        # and re-transpose the same operand at array speed.
+        self._uid = next(_UID_COUNTER)
+        self._memo: Dict = {}
+        self._transpose_cache: Optional["SparseMatrix"] = None
+        self._gram_cache: Optional["SparseMatrix"] = None
+        self._coords_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._row_block_occ_cache: Dict[int, np.ndarray] = {}
+        self._tile_occ_cache: Dict[Tuple[int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -87,6 +121,26 @@ class SparseMatrix:
     def name(self) -> str:
         """Workload name used in reports."""
         return self._name
+
+    @property
+    def uid(self) -> int:
+        """Process-unique identity token (stable for the instance's lifetime).
+
+        Used as part of cache keys by consumers that memoize derived results
+        per matrix (e.g. the tiling cache in :mod:`repro.core.overbooking`).
+        """
+        return self._uid
+
+    @property
+    def memo(self) -> Dict:
+        """Instance-scoped cache for derived results keyed by the caller.
+
+        The matrix is immutable, so any pure function of it may store its
+        result here (tilers cache :class:`~repro.core.overbooking.TilerResult`
+        objects keyed by strategy and capacity).  Entries live exactly as long
+        as the matrix, so the cache cannot leak across workloads.
+        """
+        return self._memo
 
     @property
     def csr(self) -> sp.csr_matrix:
@@ -153,9 +207,17 @@ class SparseMatrix:
         )
 
     def coordinates(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(rows, cols)`` coordinate arrays of the nonzeros."""
-        coo = self._csr.tocoo()
-        return coo.row.astype(np.int64), coo.col.astype(np.int64)
+        """Return ``(rows, cols)`` coordinate arrays of the nonzeros.
+
+        The arrays are computed once and returned read-only; callers that
+        need to reorder or scale them should copy (fancy indexing already
+        does).
+        """
+        if self._coords_cache is None:
+            coo = self._csr.tocoo()
+            self._coords_cache = (_read_only(coo.row.astype(np.int64)),
+                                  _read_only(coo.col.astype(np.int64)))
+        return self._coords_cache
 
     def values(self) -> np.ndarray:
         """Nonzero values in CSR order."""
@@ -189,11 +251,22 @@ class SparseMatrix:
         col_range = col_range.clamp(self.num_cols)
         block = self._csr[row_range.start:row_range.stop, col_range.start:col_range.stop]
         tile_name = name or f"{self._name}[{row_range.start}:{row_range.stop},{col_range.start}:{col_range.stop}]"
-        return SparseMatrix(block, name=tile_name)
+        return SparseMatrix._from_owned_csr(sp.csr_matrix(block), name=tile_name)
 
     def transpose(self) -> "SparseMatrix":
-        """Return the transposed tensor (used to form ``B = Aᵀ`` workloads)."""
-        return SparseMatrix(self._csr.T.tocsr(), name=f"{self._name}.T")
+        """Return the transposed tensor (used to form ``B = Aᵀ`` workloads).
+
+        The result is computed once per matrix and cached; the transpose's own
+        ``transpose()`` returns this matrix, so round trips are free.  The
+        evaluation engine forms ``B = Aᵀ`` once per variant per level — the
+        cache collapses those to a single CSR transpose per workload.
+        """
+        if self._transpose_cache is None:
+            transposed = SparseMatrix._from_owned_csr(
+                self._csr.T.tocsr(), name=f"{self._name}.T")
+            transposed._transpose_cache = self
+            self._transpose_cache = transposed
+        return self._transpose_cache
 
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense array (tests and tiny examples only)."""
@@ -219,12 +292,16 @@ class SparseMatrix:
         """
         check_positive_int(tile_rows, "tile_rows")
         check_positive_int(tile_cols, "tile_cols")
-        grid_rows = -(-self.num_rows // tile_rows)
-        grid_cols = -(-self.num_cols // tile_cols)
-        rows, cols = self.coordinates()
-        tile_ids = (rows // tile_rows) * grid_cols + (cols // tile_cols)
-        counts = np.bincount(tile_ids, minlength=grid_rows * grid_cols)
-        counts = counts.astype(np.int64)
+        key = (tile_rows, tile_cols)
+        counts = self._tile_occ_cache.get(key)
+        if counts is None:
+            grid_rows = -(-self.num_rows // tile_rows)
+            grid_cols = -(-self.num_cols // tile_cols)
+            rows, cols = self.coordinates()
+            tile_ids = (rows // tile_rows) * grid_cols + (cols // tile_cols)
+            counts = np.bincount(tile_ids, minlength=grid_rows * grid_cols)
+            counts = _read_only(counts.astype(np.int64))
+            self._tile_occ_cache[key] = counts
         if include_empty:
             return counts
         return counts[counts > 0]
@@ -238,11 +315,15 @@ class SparseMatrix:
         buffer tile fits or overbooks.
         """
         check_positive_int(block_rows, "block_rows")
-        indptr = self._csr.indptr
-        boundaries = np.arange(0, self.num_rows + block_rows, block_rows)
-        boundaries = np.clip(boundaries, 0, self.num_rows)
-        cumulative = indptr[boundaries]
-        return np.diff(cumulative).astype(np.int64)
+        cached = self._row_block_occ_cache.get(block_rows)
+        if cached is None:
+            indptr = self._csr.indptr
+            boundaries = np.arange(0, self.num_rows + block_rows, block_rows)
+            boundaries = np.clip(boundaries, 0, self.num_rows)
+            cumulative = indptr[boundaries]
+            cached = _read_only(np.diff(cumulative).astype(np.int64))
+            self._row_block_occ_cache[block_rows] = cached
+        return cached
 
     def max_tile_occupancy(self, tile_rows: int, tile_cols: int) -> int:
         """Largest occupancy over all tiles of the given shape (prescient search)."""
@@ -253,14 +334,30 @@ class SparseMatrix:
     # Algebra helpers
     # ------------------------------------------------------------------ #
     def matmul(self, other: "SparseMatrix") -> "SparseMatrix":
-        """Reference sparse-sparse matrix multiply (functional ground truth)."""
+        """Reference sparse-sparse matrix multiply (functional ground truth).
+
+        Products are memoized per right-hand operand, so the operation-count
+        pass and the reference kernel share a single SpGEMM per workload.
+        """
         if self.num_cols != other.num_rows:
             raise ValueError(
                 f"inner dimensions do not match: {self.num_cols} vs {other.num_rows}"
             )
-        product = self._csr @ other._csr
-        return SparseMatrix(product, name=f"{self._name}@{other._name}")
+        key = ("matmul", other.uid)
+        cached = self._memo.get(key)
+        if cached is None:
+            product = self._csr @ other._csr
+            cached = SparseMatrix._from_owned_csr(
+                product, name=f"{self._name}@{other._name}")
+            self._memo[key] = cached
+        return cached
 
     def gram(self) -> "SparseMatrix":
-        """Compute ``A @ Aᵀ``, the SpMSpM kernel evaluated throughout the paper."""
-        return self.matmul(self.transpose())
+        """Compute ``A @ Aᵀ``, the SpMSpM kernel evaluated throughout the paper.
+
+        Both the transpose and the product are memoized, so repeated calls
+        (operation counts, reference checks) cost one SpGEMM total.
+        """
+        if self._gram_cache is None:
+            self._gram_cache = self.matmul(self.transpose())
+        return self._gram_cache

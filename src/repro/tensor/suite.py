@@ -66,10 +66,39 @@ class WorkloadSpec:
         return self.builder(resolve_rng(rng))
 
 
-class WorkloadSuite:
-    """An ordered collection of workloads with cached matrix construction."""
+#: Process-wide matrix cache for the *canonical* suites (``default_suite`` /
+#: ``small_suite``).  Their specs are deterministic functions of the module
+#: source, so matrices can be shared across suite instances — constructing a
+#: fresh ``ExperimentContext`` does not regenerate 22 synthetic tensors.
+#: Keyed by ``(cache_scope, seed, workload name)``; suites built from custom
+#: specs have no scope and never share.
+_SHARED_MATRIX_CACHE: Dict[tuple, SparseMatrix] = {}
 
-    def __init__(self, specs: Sequence[WorkloadSpec], *, seed: int = 2023):
+
+class WorkloadSuite:
+    """An ordered collection of workloads with cached matrix construction.
+
+    Parameters
+    ----------
+    specs:
+        The workload specs, in suite order.
+    seed:
+        Base seed of the per-workload random streams.
+    stream_indices:
+        Optional per-name stream index overrides.  A workload's random stream
+        is derived from ``seed`` and its *stream index* (by default its
+        position in this suite); :meth:`subset` passes the parent's indices so
+        subset matrices are bit-identical to the parent's without being built
+        eagerly.
+    cache_scope:
+        Token identifying a canonical spec set whose matrices may be shared
+        process-wide (used by :func:`default_suite` / :func:`small_suite`).
+        ``None`` (the default for custom suites) keeps caching per-instance.
+    """
+
+    def __init__(self, specs: Sequence[WorkloadSpec], *, seed: int = 2023,
+                 stream_indices: Dict[str, int] | None = None,
+                 cache_scope: str | None = None):
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError("workload names must be unique")
@@ -77,6 +106,16 @@ class WorkloadSuite:
         self._order: List[str] = names
         self._seed = int(seed)
         self._cache: Dict[str, SparseMatrix] = {}
+        self._stream_indices: Dict[str, int] = {
+            name: index for index, name in enumerate(names)
+        }
+        if stream_indices:
+            unknown = [n for n in stream_indices if n not in self._specs]
+            if unknown:
+                raise KeyError(f"stream indices for unknown workloads: {unknown}")
+            self._stream_indices.update(
+                {name: int(index) for name, index in stream_indices.items()})
+        self._cache_scope = cache_scope
 
     def __len__(self) -> int:
         return len(self._order)
@@ -92,6 +131,17 @@ class WorkloadSuite:
         """Workload names in suite order."""
         return list(self._order)
 
+    @property
+    def cache_token(self):
+        """Hashable identity of a canonical suite, or ``None`` for custom ones.
+
+        Two suites with the same token produce bit-identical matrices, so
+        derived results (reports) may be shared between them.
+        """
+        if self._cache_scope is None:
+            return None
+        return (self._cache_scope, self._seed, tuple(self._order))
+
     def spec(self, name: str) -> WorkloadSpec:
         """The spec for ``name`` (raises ``KeyError`` if unknown)."""
         return self._specs[name]
@@ -100,15 +150,26 @@ class WorkloadSuite:
         """Build (and cache) the matrix for workload ``name``.
 
         Each workload draws from its own deterministic random stream derived
-        from the suite seed and the workload's position, so building workloads
-        in any order or subset yields identical matrices.
+        from the suite seed and the workload's stream index (its position in
+        the suite it was first defined in), so building workloads in any
+        order or subset yields identical matrices.
         """
         if name not in self._specs:
             raise KeyError(f"unknown workload {name!r}; known: {self._order}")
         if name not in self._cache:
-            index = self._order.index(name)
+            index = self._stream_indices[name]
+            shared_key = None
+            if self._cache_scope is not None:
+                shared_key = (self._cache_scope, self._seed, name)
+                shared = _SHARED_MATRIX_CACHE.get(shared_key)
+                if shared is not None:
+                    self._cache[name] = shared
+                    return shared
             stream = np.random.default_rng(self._seed * 1_000_003 + index)
-            self._cache[name] = self._specs[name].build(stream)
+            built = self._specs[name].build(stream)
+            self._cache[name] = built
+            if shared_key is not None:
+                _SHARED_MATRIX_CACHE[shared_key] = built
         return self._cache[name]
 
     def matrices(self) -> Dict[str, SparseMatrix]:
@@ -116,17 +177,24 @@ class WorkloadSuite:
         return {name: self.matrix(name) for name in self._order}
 
     def subset(self, names: Sequence[str]) -> "WorkloadSuite":
-        """A suite containing only the named workloads (same seed)."""
+        """A suite containing only the named workloads (same seed).
+
+        The subset stays lazy: matrices already built by this suite are
+        carried over, everything else is built on first use from the stream
+        derived from the workload's position in the *parent* suite (so subset
+        matrices are identical to the parent's).
+        """
         missing = [n for n in names if n not in self._specs]
         if missing:
             raise KeyError(f"unknown workloads: {missing}")
-        # Preserve caching determinism by re-deriving streams from positions
-        # in *this* suite: copy already-built matrices where available.
-        subset = WorkloadSuite([self._specs[n] for n in names], seed=self._seed)
+        subset = WorkloadSuite(
+            [self._specs[n] for n in names], seed=self._seed,
+            stream_indices={n: self._stream_indices[n] for n in names},
+            cache_scope=self._cache_scope,
+        )
         for name in names:
-            index = self._order.index(name)
-            stream = np.random.default_rng(self._seed * 1_000_003 + index)
-            subset._cache[name] = self._specs[name].build(stream)
+            if name in self._cache:
+                subset._cache[name] = self._cache[name]
         return subset
 
 
@@ -230,13 +298,11 @@ def _default_specs() -> List[WorkloadSpec]:
 
 def default_suite(seed: int = 2023) -> WorkloadSuite:
     """The full 22-workload synthetic suite mirroring Table 2."""
-    return WorkloadSuite(_default_specs(), seed=seed)
+    return WorkloadSuite(_default_specs(), seed=seed, cache_scope="table2")
 
 
 def small_suite(seed: int = 2023) -> WorkloadSuite:
     """A three-workload suite (one per structure class) for tests and demos."""
-    specs = [s for s in _default_specs() if s.name in ("rma10", "soc-Epinions1", "roadNet-CA")]
-    # Shrink the builders further for speed: rebuild with smaller dimensions.
     small = [
         WorkloadSpec(
             name="tiny-fem",
@@ -264,5 +330,4 @@ def small_suite(seed: int = 2023) -> WorkloadSuite:
                 name="tiny-road"),
         ),
     ]
-    del specs
-    return WorkloadSuite(small, seed=seed)
+    return WorkloadSuite(small, seed=seed, cache_scope="small")

@@ -1,15 +1,35 @@
-"""Tile and tiling abstractions shared by every strategy."""
+"""Tile and tiling abstractions shared by every strategy.
+
+The :class:`Tiling` container is *array-backed* (structure-of-arrays): the
+per-tile occupancies live in one ``int64`` NumPy array and the tile geometry
+is a compact descriptor (a regular grid, or explicit bound arrays for
+position-space tiles).  Constructing a tiling therefore costs O(1) Python
+objects regardless of the number of tiles, and every bulk statistic
+(overbooking rate, bumped elements, buffer utilization) is a vectorized
+reduction over the occupancy array.
+
+:class:`Tile` still exists as the per-tile *view* type: ``tiling[i]`` and
+iteration materialize ``Tile`` objects lazily, so code that wants to reason
+about a single tile (tests, traces, examples) keeps the exact seed API while
+the evaluation pipeline never touches per-tile Python objects.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
 import numpy as np
 
 from repro.tensor.coords import Range
 from repro.tensor.sparse import SparseMatrix
-from repro.utils.validation import check_non_negative, check_non_negative_int
+from repro.utils.validation import (
+    check_non_negative,
+    check_non_negative_int,
+    check_non_negative_int_array,
+    check_positive_int,
+    check_range_arrays,
+)
 
 
 @dataclass(frozen=True)
@@ -103,58 +123,204 @@ class TilingTax:
         )
 
 
-@dataclass
+class GridGeometry:
+    """Tile geometry of a regular grid clipped to the matrix extent.
+
+    Covers both uniform-shape 2-D tilings and row-block tilings (the latter is
+    a grid whose tile width equals the full matrix width).  Only four integers
+    are stored; per-tile ranges are derived on demand.
+    """
+
+    __slots__ = ("num_rows", "num_cols", "tile_rows", "tile_cols",
+                 "grid_rows", "grid_cols")
+
+    def __init__(self, num_rows: int, num_cols: int, tile_rows: int, tile_cols: int):
+        check_non_negative_int(num_rows, "num_rows")
+        check_non_negative_int(num_cols, "num_cols")
+        check_positive_int(tile_rows, "tile_rows")
+        check_positive_int(tile_cols, "tile_cols")
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        self.tile_rows = int(tile_rows)
+        self.tile_cols = int(tile_cols)
+        self.grid_rows = -(-self.num_rows // self.tile_rows)
+        self.grid_cols = -(-self.num_cols // self.tile_cols)
+
+    def __len__(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    def ranges(self, index: int) -> tuple[Range, Range]:
+        """The (row_range, col_range) of tile ``index`` (row-major order)."""
+        grid_row, grid_col = divmod(index, self.grid_cols)
+        row_range = Range(grid_row * self.tile_rows,
+                          min((grid_row + 1) * self.tile_rows, self.num_rows))
+        col_range = Range(grid_col * self.tile_cols,
+                          min((grid_col + 1) * self.tile_cols, self.num_cols))
+        return row_range, col_range
+
+    def bound_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized (row_starts, row_stops, col_starts, col_stops)."""
+        ids = np.arange(len(self), dtype=np.int64)
+        grid_row, grid_col = np.divmod(ids, self.grid_cols)
+        row_starts = grid_row * self.tile_rows
+        row_stops = np.minimum(row_starts + self.tile_rows, self.num_rows)
+        col_starts = grid_col * self.tile_cols
+        col_stops = np.minimum(col_starts + self.tile_cols, self.num_cols)
+        return row_starts, row_stops, col_starts, col_stops
+
+
+class ExplicitGeometry:
+    """Tile geometry given by explicit per-tile bound arrays (e.g. PST)."""
+
+    __slots__ = ("row_starts", "row_stops", "col_starts", "col_stops")
+
+    def __init__(self, row_starts, row_stops, col_starts, col_stops):
+        self.row_starts, self.row_stops = check_range_arrays(
+            row_starts, row_stops, "row")
+        self.col_starts, self.col_stops = check_range_arrays(
+            col_starts, col_stops, "col")
+        if len(self.row_starts) != len(self.col_starts):
+            raise ValueError("row and col bound arrays must align")
+
+    def __len__(self) -> int:
+        return len(self.row_starts)
+
+    def ranges(self, index: int) -> tuple[Range, Range]:
+        return (Range(int(self.row_starts[index]), int(self.row_stops[index])),
+                Range(int(self.col_starts[index]), int(self.col_stops[index])))
+
+    def bound_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return self.row_starts, self.row_stops, self.col_starts, self.col_stops
+
+
 class Tiling:
-    """A complete partitioning of a matrix into tiles.
+    """A complete partitioning of a matrix into tiles (array-backed).
 
     Invariant (checked by :meth:`validate`): the tile occupancies sum to the
     matrix occupancy, i.e. every nonzero belongs to exactly one tile.
+
+    The per-tile occupancies are stored as one read-only ``int64`` array (see
+    :meth:`occupancies`); ``Tile`` objects are derived views created only on
+    ``__getitem__``/iteration.  Treat instances as immutable — cached tiler
+    results share them across accelerator variants.
     """
 
-    matrix: SparseMatrix
-    tiles: List[Tile]
-    strategy: str
-    tax: TilingTax = field(default_factory=TilingTax)
+    __slots__ = ("matrix", "strategy", "tax", "_occupancies", "_geometry")
+
+    def __init__(self, matrix: SparseMatrix, strategy: str, occupancies,
+                 geometry, tax: TilingTax | None = None):
+        occ = check_non_negative_int_array(occupancies, "occupancies")
+        if len(occ) != len(geometry):
+            raise ValueError(
+                f"occupancies ({len(occ)}) and geometry ({len(geometry)}) must align"
+            )
+        if occ.flags.writeable:
+            occ = occ.copy() if occ is occupancies else occ
+            occ.setflags(write=False)
+        self.matrix = matrix
+        self.strategy = str(strategy)
+        self.tax = tax or TilingTax()
+        self._occupancies = occ
+        self._geometry = geometry
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_grid(cls, matrix: SparseMatrix, tile_rows: int, tile_cols: int,
+                  occupancies, strategy: str, tax: TilingTax | None = None) -> "Tiling":
+        """A regular-grid tiling (uniform shape; boundary tiles clipped)."""
+        geometry = GridGeometry(matrix.num_rows, matrix.num_cols, tile_rows, tile_cols)
+        return cls(matrix, strategy, occupancies, geometry, tax)
+
+    @classmethod
+    def from_row_blocks(cls, matrix: SparseMatrix, block_rows: int,
+                        occupancies, strategy: str,
+                        tax: TilingTax | None = None) -> "Tiling":
+        """A row-band tiling: ``block_rows`` rows × full matrix width."""
+        geometry = GridGeometry(matrix.num_rows, matrix.num_cols,
+                                block_rows, max(1, matrix.num_cols))
+        return cls(matrix, strategy, occupancies, geometry, tax)
+
+    @classmethod
+    def from_bounds(cls, matrix: SparseMatrix, occupancies, row_starts, row_stops,
+                    col_starts, col_stops, strategy: str,
+                    tax: TilingTax | None = None) -> "Tiling":
+        """A tiling with explicit per-tile bounding rectangles (PST)."""
+        geometry = ExplicitGeometry(row_starts, row_stops, col_starts, col_stops)
+        return cls(matrix, strategy, occupancies, geometry, tax)
+
+    # ------------------------------------------------------------------ #
+    # Per-tile views (lazy)
+    # ------------------------------------------------------------------ #
+    def _tile(self, index: int) -> Tile:
+        row_range, col_range = self._geometry.ranges(index)
+        return Tile(index=index, row_range=row_range, col_range=col_range,
+                    occupancy=int(self._occupancies[index]))
 
     def __len__(self) -> int:
-        return len(self.tiles)
+        return int(self._occupancies.size)
 
     def __iter__(self) -> Iterator[Tile]:
-        return iter(self.tiles)
+        return (self._tile(i) for i in range(len(self)))
 
     def __getitem__(self, index: int) -> Tile:
-        return self.tiles[index]
+        num = len(self)
+        if index < 0:
+            index += num
+        if not 0 <= index < num:
+            raise IndexError(f"tile index {index} out of range for {num} tiles")
+        return self._tile(index)
+
+    @property
+    def tiles(self) -> List[Tile]:
+        """All tiles as materialized ``Tile`` views (compatibility accessor).
+
+        This builds O(num_tiles) Python objects — bulk consumers should use
+        :meth:`occupancies` and the vectorized statistics instead.
+        """
+        return list(self)
 
     @property
     def num_tiles(self) -> int:
-        return len(self.tiles)
+        return len(self)
 
+    # ------------------------------------------------------------------ #
+    # Bulk (vectorized) statistics
+    # ------------------------------------------------------------------ #
     def occupancies(self) -> np.ndarray:
-        """Per-tile occupancies as an integer array (in tile order)."""
-        return np.array([tile.occupancy for tile in self.tiles], dtype=np.int64)
+        """Per-tile occupancies as a read-only integer array (in tile order)."""
+        return self._occupancies
+
+    def bound_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-tile ``(row_starts, row_stops, col_starts, col_stops)`` arrays."""
+        return self._geometry.bound_arrays()
 
     @property
     def total_occupancy(self) -> int:
         """Sum of tile occupancies (must equal the matrix nnz)."""
-        return int(self.occupancies().sum()) if self.tiles else 0
+        return int(self._occupancies.sum()) if self._occupancies.size else 0
 
     @property
     def max_occupancy(self) -> int:
-        return int(self.occupancies().max()) if self.tiles else 0
+        return int(self._occupancies.max()) if self._occupancies.size else 0
 
     def overbooked_tiles(self, capacity: int) -> List[Tile]:
-        """Tiles whose occupancy exceeds ``capacity``."""
-        return [tile for tile in self.tiles if tile.overbooks(capacity)]
+        """Tiles whose occupancy exceeds ``capacity`` (views built on demand)."""
+        indices = np.nonzero(self._occupancies > capacity)[0]
+        return [self._tile(int(i)) for i in indices]
 
     def overbooking_rate(self, capacity: int) -> float:
         """Fraction of tiles that overbook a buffer of ``capacity`` words."""
-        if not self.tiles:
+        if not self._occupancies.size:
             return 0.0
-        return len(self.overbooked_tiles(capacity)) / len(self.tiles)
+        return float((self._occupancies > capacity).mean())
 
     def bumped_elements(self, capacity: int) -> int:
         """Total nonzeros that do not fit across all overbooked tiles."""
-        return sum(tile.bumped(capacity) for tile in self.tiles)
+        if not self._occupancies.size:
+            return 0
+        return int(np.maximum(self._occupancies - capacity, 0).sum())
 
     def buffer_utilization(self, capacity: int) -> float:
         """Average fraction of the buffer occupied while each tile is resident.
@@ -163,9 +329,9 @@ class Tiling:
         tile with lower occupancy utilizes ``occupancy / capacity``.  This is
         the adaptability metric of Table 1.
         """
-        if not self.tiles or capacity <= 0:
+        if not self._occupancies.size or capacity <= 0:
             return 0.0
-        occupancies = np.minimum(self.occupancies(), capacity)
+        occupancies = np.minimum(self._occupancies, capacity)
         return float(occupancies.mean() / capacity)
 
     def validate(self) -> None:
@@ -178,7 +344,7 @@ class Tiling:
 
     def summary(self) -> dict:
         """Small dict of headline statistics (used by reports and examples)."""
-        occ = self.occupancies()
+        occ = self._occupancies
         return {
             "strategy": self.strategy,
             "num_tiles": self.num_tiles,
@@ -191,12 +357,21 @@ class Tiling:
 def tiles_from_occupancies(matrix: SparseMatrix, occupancies: Sequence[int],
                            row_ranges: Sequence[Range], col_ranges: Sequence[Range],
                            strategy: str, tax: TilingTax | None = None) -> Tiling:
-    """Assemble a :class:`Tiling` from parallel per-tile sequences."""
+    """Assemble a :class:`Tiling` from parallel per-tile sequences.
+
+    Accepts per-tile ``Range`` sequences for compatibility; the ranges are
+    packed into bound arrays so the resulting tiling is array-backed like any
+    other.
+    """
     if not (len(occupancies) == len(row_ranges) == len(col_ranges)):
         raise ValueError("occupancies, row_ranges and col_ranges must align")
-    tiles = [
-        Tile(index=i, row_range=row_ranges[i], col_range=col_ranges[i],
-             occupancy=int(occupancies[i]))
-        for i in range(len(occupancies))
-    ]
-    return Tiling(matrix=matrix, tiles=tiles, strategy=strategy, tax=tax or TilingTax())
+    row_starts = np.fromiter((r.start for r in row_ranges), dtype=np.int64,
+                             count=len(row_ranges))
+    row_stops = np.fromiter((r.stop for r in row_ranges), dtype=np.int64,
+                            count=len(row_ranges))
+    col_starts = np.fromiter((c.start for c in col_ranges), dtype=np.int64,
+                             count=len(col_ranges))
+    col_stops = np.fromiter((c.stop for c in col_ranges), dtype=np.int64,
+                            count=len(col_ranges))
+    return Tiling.from_bounds(matrix, occupancies, row_starts, row_stops,
+                              col_starts, col_stops, strategy, tax)

@@ -27,9 +27,8 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.tensor.coords import Range
 from repro.tensor.sparse import SparseMatrix
-from repro.tiling.base import Tile, Tiling, TilingTax
+from repro.tiling.base import Tiling, TilingTax
 from repro.utils.validation import check_positive_int
 
 
@@ -39,23 +38,14 @@ def uniform_shape_tiling(matrix: SparseMatrix, tile_rows: int, tile_cols: int,
     """Partition ``matrix`` into a grid of fixed-shape tiles.
 
     Boundary tiles are clipped to the matrix extent.  The per-tile occupancies
-    are computed in a single ``O(nnz)`` pass.
+    are computed in a single ``O(nnz)`` pass and the tiling is assembled
+    without materializing per-tile objects.
     """
     check_positive_int(tile_rows, "tile_rows")
     check_positive_int(tile_cols, "tile_cols")
     occupancies = matrix.tile_occupancies(tile_rows, tile_cols, include_empty=True)
-    grid_cols = -(-matrix.num_cols // tile_cols)
-
-    tiles = []
-    for tile_id, occupancy in enumerate(occupancies):
-        grid_row, grid_col = divmod(tile_id, grid_cols)
-        row_range = Range(grid_row * tile_rows,
-                          min((grid_row + 1) * tile_rows, matrix.num_rows))
-        col_range = Range(grid_col * tile_cols,
-                          min((grid_col + 1) * tile_cols, matrix.num_cols))
-        tiles.append(Tile(index=tile_id, row_range=row_range, col_range=col_range,
-                          occupancy=int(occupancy)))
-    return Tiling(matrix=matrix, tiles=tiles, strategy=strategy, tax=tax or TilingTax())
+    return Tiling.from_grid(matrix, tile_rows, tile_cols, occupancies,
+                            strategy=strategy, tax=tax)
 
 
 def row_block_tiling(matrix: SparseMatrix, block_rows: int, *,
@@ -64,14 +54,8 @@ def row_block_tiling(matrix: SparseMatrix, block_rows: int, *,
     """Partition ``matrix`` into row bands of ``block_rows`` rows × full width."""
     check_positive_int(block_rows, "block_rows")
     occupancies = matrix.row_block_occupancies(block_rows)
-    tiles = []
-    full_cols = Range(0, matrix.num_cols)
-    for tile_id, occupancy in enumerate(occupancies):
-        row_range = Range(tile_id * block_rows,
-                          min((tile_id + 1) * block_rows, matrix.num_rows))
-        tiles.append(Tile(index=tile_id, row_range=row_range, col_range=full_cols,
-                          occupancy=int(occupancy)))
-    return Tiling(matrix=matrix, tiles=tiles, strategy=strategy, tax=tax or TilingTax())
+    return Tiling.from_row_blocks(matrix, block_rows, occupancies,
+                                  strategy=strategy, tax=tax)
 
 
 def dense_row_block_rows(capacity: int, num_cols: int) -> int:

@@ -17,9 +17,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.coords import Range
 from repro.tensor.sparse import SparseMatrix
-from repro.tiling.base import Tile, Tiling, TilingTax
+from repro.tiling.base import Tiling, TilingTax
 from repro.utils.validation import check_positive_int
 
 
@@ -51,19 +50,24 @@ def position_space_tiling(matrix: SparseMatrix, capacity: int, *,
     rows = rows[order]
     cols = cols[order]
 
-    tiles = []
     nnz = len(rows)
-    for index, start in enumerate(range(0, nnz, capacity)):
-        stop = min(start + capacity, nnz)
-        tile_rows = rows[start:stop]
-        tile_cols = cols[start:stop]
-        row_range = Range(int(tile_rows.min()), int(tile_rows.max()) + 1)
-        col_range = Range(int(tile_cols.min()), int(tile_cols.max()) + 1)
-        tiles.append(Tile(index=index, row_range=row_range, col_range=col_range,
-                          occupancy=stop - start))
+    starts = np.arange(0, nnz, capacity, dtype=np.int64)
+    stops = np.minimum(starts + capacity, nnz)
+    num_tiles = len(starts)
+    if num_tiles:
+        # Per-run bounding rectangles in one pass (no per-tile Python objects).
+        row_starts = np.minimum.reduceat(rows, starts)
+        row_stops = np.maximum.reduceat(rows, starts) + 1
+        col_starts = np.minimum.reduceat(cols, starts)
+        col_stops = np.maximum.reduceat(cols, starts) + 1
+    else:
+        row_starts = row_stops = col_starts = col_stops = np.empty(0, dtype=np.int64)
+    occupancies = stops - starts
 
     matching = 0
-    if other_operand_nnz is not None and tiles:
-        matching = int(other_operand_nnz) * len(tiles)
+    if other_operand_nnz is not None and num_tiles:
+        matching = int(other_operand_nnz) * num_tiles
     tax = TilingTax(runtime_matching_elements=matching)
-    return Tiling(matrix=matrix, tiles=tiles, strategy="position-space", tax=tax)
+    return Tiling.from_bounds(matrix, occupancies, row_starts, row_stops,
+                              col_starts, col_stops, strategy="position-space",
+                              tax=tax)

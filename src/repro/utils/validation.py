@@ -79,3 +79,43 @@ def check_fraction(value: Any, name: str, *, inclusive_low: bool = True,
 def check_probability(value: Any, name: str) -> float:
     """Validate a probability in ``[0, 1]`` (both endpoints allowed)."""
     return check_fraction(value, name, inclusive_low=True, inclusive_high=True)
+
+
+def check_non_negative_int_array(array: Any, name: str) -> np.ndarray:
+    """Validate a 1-D array of non-negative integers in one vectorized pass.
+
+    This is the bulk counterpart of :func:`check_non_negative_int`: tiling
+    constructors validate whole occupancy arrays at once instead of paying a
+    per-element Python call.  Returns the array as ``int64`` (without copying
+    when the input already is ``int64``).
+    """
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got ndim={arr.ndim}")
+    if arr.size and arr.dtype.kind not in "iu":
+        if arr.dtype.kind == "f" and np.equal(np.mod(arr, 1), 0).all():
+            arr = arr.astype(np.int64)
+        else:
+            raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and int(arr.min()) < 0:
+        raise ValueError(f"{name} must be non-negative, got minimum {int(arr.min())}")
+    return arr
+
+
+def check_range_arrays(starts: Any, stops: Any, name: str) -> tuple[np.ndarray, np.ndarray]:
+    """Validate parallel ``[start, stop)`` coordinate-bound arrays.
+
+    Vectorized counterpart of constructing many :class:`~repro.tensor.coords.Range`
+    objects: both arrays must be 1-D non-negative integers of equal length with
+    ``stops >= starts`` element-wise.
+    """
+    starts = check_non_negative_int_array(starts, f"{name} starts")
+    stops = check_non_negative_int_array(stops, f"{name} stops")
+    if len(starts) != len(stops):
+        raise ValueError(
+            f"{name} starts and stops must align ({len(starts)} vs {len(stops)})"
+        )
+    if starts.size and bool((stops < starts).any()):
+        raise ValueError(f"{name} stops must be >= starts element-wise")
+    return starts, stops

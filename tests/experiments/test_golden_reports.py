@@ -1,0 +1,172 @@
+"""Golden regression test: ``ExperimentContext.quick()`` report values.
+
+The values below were captured from the seed implementation (per-tile
+``Tile``-object tiling layer, no memoization) before the tiling layer was
+vectorized.  The vectorized, memoized pipeline must reproduce every headline
+report quantity to 1e-9 relative tolerance — the refactor is a performance
+change, not a modeling change.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+#: Captured from the seed implementation (see PERFORMANCE.md).
+GOLDEN = {'tiny-fem': {'ExTensor-N': {'bound': 'dram',
+                             'bumped_fraction': 0.0,
+                             'cycles': 261213.0,
+                             'data_reuse_fraction': 1.0,
+                             'dram_total_words': 1044852.0,
+                             'effectual_multiplies': 160870,
+                             'energy_total_pj': 176927106.42525,
+                             'glb_block_rows': 13,
+                             'glb_overbooking_rate': 0.0,
+                             'glb_total_words': 1934308.0,
+                             'glb_utilization': 0.02511012300531915,
+                             'output_nonzeros': 58362,
+                             'tiling_tax_elements': 0.0},
+              'ExTensor-OB': {'bound': 'dram',
+                              'bumped_fraction': 0.1842159702110054,
+                              'cycles': 47245.0,
+                              'data_reuse_fraction': 0.8157840297889947,
+                              'dram_total_words': 188980.0,
+                              'effectual_multiplies': 160870,
+                              'energy_total_pj': 31942691.650204584,
+                              'glb_block_rows': 553,
+                              'glb_overbooking_rate': 0.5,
+                              'glb_total_words': 244584.0,
+                              'glb_utilization': 0.54388427734375,
+                              'output_nonzeros': 58362,
+                              'tiling_tax_elements': 38672.0},
+              'ExTensor-P': {'bound': 'dram',
+                             'bumped_fraction': 0.0,
+                             'cycles': 43683.0,
+                             'data_reuse_fraction': 1.0,
+                             'dram_total_words': 174732.0,
+                             'effectual_multiplies': 160870,
+                             'energy_total_pj': 29583290.329665706,
+                             'glb_block_rows': 506,
+                             'glb_overbooking_rate': 0.0,
+                             'glb_total_words': 232740.0,
+                             'glb_utilization': 0.590087890625,
+                             'output_nonzeros': 58362,
+                             'tiling_tax_elements': 541408.0}},
+ 'tiny-road': {'ExTensor-N': {'bound': 'dram',
+                              'bumped_fraction': 0.0,
+                              'cycles': 232584.5,
+                              'data_reuse_fraction': 1.0,
+                              'dram_total_words': 930338.0,
+                              'effectual_multiplies': 27403,
+                              'energy_total_pj': 157548121.11237964,
+                              'glb_block_rows': 9,
+                              'glb_overbooking_rate': 0.0,
+                              'glb_total_words': 1812824.0,
+                              'glb_utilization': 0.005440673828125,
+                              'output_nonzeros': 15012,
+                              'tiling_tax_elements': 0.0},
+               'ExTensor-OB': {'bound': 'dram',
+                               'bumped_fraction': 0.0,
+                               'cycles': 11963.0,
+                               'data_reuse_fraction': 1.0,
+                               'dram_total_words': 47852.0,
+                               'effectual_multiplies': 27403,
+                               'energy_total_pj': 8033533.789597727,
+                               'glb_block_rows': 900,
+                               'glb_overbooking_rate': 0.0,
+                               'glb_total_words': 64016.0,
+                               'glb_utilization': 0.5440673828125,
+                               'output_nonzeros': 15012,
+                               'tiling_tax_elements': 17828.0},
+               'ExTensor-P': {'bound': 'dram',
+                              'bumped_fraction': 0.0,
+                              'cycles': 11963.0,
+                              'data_reuse_fraction': 1.0,
+                              'dram_total_words': 47852.0,
+                              'effectual_multiplies': 27403,
+                              'energy_total_pj': 8039072.292333305,
+                              'glb_block_rows': 900,
+                              'glb_overbooking_rate': 0.0,
+                              'glb_total_words': 65680.0,
+                              'glb_utilization': 0.5440673828125,
+                              'output_nonzeros': 15012,
+                              'tiling_tax_elements': 106968.0}},
+ 'tiny-social': {'ExTensor-N': {'bound': 'dram',
+                                'bumped_fraction': 0.0,
+                                'cycles': 216541.0,
+                                'data_reuse_fraction': 1.0,
+                                'dram_total_words': 866164.0,
+                                'effectual_multiplies': 62282,
+                                'energy_total_pj': 146438683.0156888,
+                                'glb_block_rows': 11,
+                                'glb_overbooking_rate': 0.0,
+                                'glb_total_words': 1622164.0,
+                                'glb_utilization': 0.011444091796875,
+                                'output_nonzeros': 43082,
+                                'tiling_tax_elements': 0.0},
+                 'ExTensor-OB': {'bound': 'dram',
+                                 'bumped_fraction': 0.0,
+                                 'cycles': 27541.0,
+                                 'data_reuse_fraction': 1.0,
+                                 'dram_total_words': 110164.0,
+                                 'effectual_multiplies': 62282,
+                                 'energy_total_pj': 18527626.280936934,
+                                 'glb_block_rows': 700,
+                                 'glb_overbooking_rate': 0.0,
+                                 'glb_total_words': 176206.0,
+                                 'glb_utilization': 0.732421875,
+                                 'output_nonzeros': 43082,
+                                 'tiling_tax_elements': 24000.0},
+                 'ExTensor-P': {'bound': 'dram',
+                                'bumped_fraction': 0.0,
+                                'cycles': 27541.0,
+                                'data_reuse_fraction': 1.0,
+                                'dram_total_words': 110164.0,
+                                'effectual_multiplies': 62282,
+                                'energy_total_pj': 18467574.798752263,
+                                'glb_block_rows': 700,
+                                'glb_overbooking_rate': 0.0,
+                                'glb_total_words': 158164.0,
+                                'glb_utilization': 0.732421875,
+                                'output_nonzeros': 43082,
+                                'tiling_tax_elements': 120000.0}}}
+
+
+@pytest.fixture(scope="module")
+def quick_reports():
+    return ExperimentContext.quick().all_reports()
+
+
+def _report_values(report):
+    return {
+        "bound": report.bound,
+        "bumped_fraction": report.bumped_fraction,
+        "cycles": report.cycles,
+        "data_reuse_fraction": report.data_reuse_fraction,
+        "dram_total_words": report.traffic.dram.total_words,
+        "effectual_multiplies": report.effectual_multiplies,
+        "energy_total_pj": report.energy.total_pj,
+        "glb_block_rows": report.glb_block_rows,
+        "glb_overbooking_rate": report.glb_overbooking_rate,
+        "glb_total_words": report.traffic.global_buffer.total_words,
+        "glb_utilization": report.glb_utilization,
+        "output_nonzeros": report.output_nonzeros,
+        "tiling_tax_elements": report.tiling_tax_elements,
+    }
+
+
+def test_workloads_and_variants_unchanged(quick_reports):
+    assert sorted(quick_reports) == sorted(GOLDEN)
+    for workload, per_variant in GOLDEN.items():
+        assert sorted(quick_reports[workload]) == sorted(per_variant)
+
+
+@pytest.mark.parametrize("workload", sorted(GOLDEN))
+def test_reports_match_seed_to_1e9(quick_reports, workload):
+    for variant, expected in GOLDEN[workload].items():
+        actual = _report_values(quick_reports[workload][variant])
+        for key, value in expected.items():
+            if isinstance(value, str):
+                assert actual[key] == value, f"{workload}/{variant}/{key}"
+            else:
+                assert actual[key] == pytest.approx(value, rel=1e-9, abs=1e-9), \
+                    f"{workload}/{variant}/{key}"
