@@ -1,48 +1,63 @@
 """Design-space exploration: how buffer capacity and y interact.
 
-Sweeps the global-buffer capacity and the Swiftiles overbooking target for one
-skewed workload and prints the resulting speedup of ExTensor-OB over
-ExTensor-P — the kind of what-if study a designer adopting overbooking would
-run before fixing the buffer size.
+Runs a grid over the global-buffer capacity and the Swiftiles overbooking
+target for one skewed workload through the experiment framework's sweep
+runner (:mod:`repro.experiments.sweep`) — all grid points are batched through
+the parallel evaluation scheduler — and prints the resulting speedup of
+ExTensor-OB over ExTensor-P, the kind of what-if study a designer adopting
+overbooking would run before fixing the buffer size.
 
 Run with::
 
-    python examples/accelerator_design_space.py
+    python examples/accelerator_design_space.py [--quick] [--workers N]
+
+The same grid is available from the command line::
+
+    python -m repro sweep --y 0.05,0.10,0.25,0.50 --glb-scales 0.25,0.5,1,2
 """
 
+import argparse
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import AcceleratorVariant, ExTensorModel, WorkloadDescriptor, scaled_default_config
-from repro.tensor.generators import power_law_matrix
+from repro import default_suite, small_suite
+from repro.experiments.sweep import sweep_grid
 
-CAPACITIES = (2048, 4096, 8192, 16384)
-TARGETS = (0.0, 0.10, 0.25, 0.50)
+GLB_SCALES = (0.25, 0.5, 1.0, 2.0)
+TARGETS = (0.05, 0.10, 0.25, 0.50)
 
 
-def main() -> None:
-    matrix = power_law_matrix(8000, 80_000, alpha=1.5, rng=9, name="design-space-graph")
-    workload = WorkloadDescriptor.gram(matrix)
-    print(f"workload: {matrix.name}, nnz {matrix.nnz}\n")
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="use the 3-workload quick suite's graph workload")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="scheduler worker processes (default: CPU count)")
+    args = parser.parse_args(argv)
 
-    header = "GLB capacity | " + " | ".join(f"y={y:4.0%}" for y in TARGETS)
+    suite = small_suite() if args.quick else default_suite()
+    workload = "tiny-social" if args.quick else "sx-mathoverflow"
+    result = sweep_grid(suite, y_values=TARGETS, glb_scales=GLB_SCALES,
+                        workloads=[workload], max_workers=args.workers)
+
+    print(f"workload: {workload} (speedups are ExTensor-OB over ExTensor-P)\n")
+    header = "GLB scale | " + " | ".join(f"y={y:4.0%}" for y in TARGETS)
     print(header)
     print("-" * len(header))
-    for capacity in CAPACITIES:
-        config = scaled_default_config().with_overrides(glb_capacity_words=capacity)
-        model = ExTensorModel(config)
-        prescient = model.evaluate_variant(workload, AcceleratorVariant.prescient())
-        cells = []
-        for y in TARGETS:
-            variant = AcceleratorVariant.overbooking(overbooking_target=y)
-            report = model.evaluate_variant(workload, variant)
-            cells.append(f"{prescient.cycles / report.cycles:6.2f}x")
-        print(f"{capacity:12d} | " + " | ".join(cells))
+    for scale in GLB_SCALES:
+        cells = [
+            f"{result.summary_at(y, glb_scale=scale).geomean_speedup_ob_vs_prescient:6.2f}x"
+            for y in TARGETS
+        ]
+        print(f"{scale:9.2f} | " + " | ".join(cells))
 
-    print("\nLarger buffers need less overbooking; small buffers gain the most "
-          "from speculative tiles (speedups are ExTensor-OB over ExTensor-P).")
+    schedule = result.schedule
+    note = (f"{schedule.computed} evaluations on {schedule.workers} worker(s)"
+            if schedule.computed else "report memo was already warm")
+    print(f"\nscheduler: {note}; larger buffers need less overbooking, "
+          "small buffers gain the most from speculative tiles.")
 
 
 if __name__ == "__main__":

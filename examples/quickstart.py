@@ -1,45 +1,56 @@
 """Quickstart: evaluate overbooking on one sparse workload.
 
-Builds a synthetic road-network matrix, runs the ``A × Aᵀ`` workload through
-the three ExTensor variants (naive, prescient, overbooked), and prints the
-speedup, energy, and DRAM traffic of each — the smallest end-to-end use of the
-library's public API.
+Builds an :class:`ExperimentContext` over the evaluation suite, pulls the
+per-variant performance reports of the road-network workload (naive,
+prescient, overbooked), and prints the speedup, energy, and DRAM traffic of
+each — the smallest end-to-end use of the experiment framework's public API.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--suite {full,quick}]
+
+``python -m repro run --all`` regenerates every paper figure/table through
+the same framework; ``python -m repro list`` shows what is available.
 """
 
+import argparse
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import ExTensorModel, default_suite
+from repro.experiments import ExperimentContext
 
 
-def main() -> None:
-    suite = default_suite()
-    matrix = suite.matrix("roadNet-CA")
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("full", "quick"), default="full",
+                        help="workload suite (quick = 3-workload smoke suite)")
+    args = parser.parse_args(argv)
+
+    context = ExperimentContext.for_suite(args.suite)
+    name = "roadNet-CA" if "roadNet-CA" in context.suite else "tiny-road"
+    matrix = context.matrix(name)
     print(f"workload: {matrix.name}, shape {matrix.csr.shape}, "
           f"nnz {matrix.nnz}, sparsity {matrix.sparsity:.4%}\n")
 
-    model = ExTensorModel()
-    reports = model.evaluate_matrix(matrix)
-    naive = reports["ExTensor-N"]
+    reports = context.reports(name)
+    naive = reports[context.naive_name]
 
     header = f"{'variant':14s} {'cycles':>14s} {'speedup':>9s} {'energy (uJ)':>12s} {'DRAM words':>12s}"
     print(header)
     print("-" * len(header))
-    for name, report in reports.items():
-        print(f"{name:14s} {report.cycles:14.3e} {report.speedup_over(naive):8.1f}x "
+    for variant, report in reports.items():
+        print(f"{variant:14s} {report.cycles:14.3e} {report.speedup_over(naive):8.1f}x "
               f"{report.energy.total_uj:12.2f} {report.dram_words:12.3e}")
 
-    overbooked = reports["ExTensor-OB"]
+    overbooked = reports[context.overbooking_name]
     print(f"\nExTensor-OB tiled A into blocks of {overbooked.glb_block_rows} rows; "
           f"{overbooked.glb_overbooking_rate:.0%} of tiles overbook the global buffer, "
           f"streaming overhead is {overbooked.traffic.dram_overhead_fraction:.1%} "
           f"of baseline DRAM traffic.")
+    print("\nNext: `python -m repro run --all` writes every paper artifact to "
+          "artifacts/, `python -m repro sweep` runs parameter grids.")
 
 
 if __name__ == "__main__":

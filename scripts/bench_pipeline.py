@@ -11,7 +11,10 @@ performance trajectory to compare against.  Stages:
   in the same process *with every process-wide memo cleared first* (what a
   cold process pays);
 * ``all_reports_warm`` — a fresh context afterwards (what every *subsequent*
-  context in a process pays, exercising the memoization layer).
+  context in a process pays, exercising the memoization layer);
+* ``parallel`` — the cold full-suite evaluation again, but pre-computed by
+  the :mod:`repro.experiments.scheduler` worker pool at each worker count in
+  ``--workers-sweep`` (what ``python -m repro run --workers N`` pays).
 
 Run with::
 
@@ -34,6 +37,7 @@ from repro.experiments.runner import (  # noqa: E402
     ExperimentContext,
     clear_process_caches,
 )
+from repro.experiments.scheduler import EvaluationScheduler  # noqa: E402
 
 #: Wall time of ``ExperimentContext.full().all_reports()`` at the seed commit
 #: (before the tiling layer was vectorized), best of 3 on the machine this PR
@@ -49,7 +53,20 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
-def run_benchmark() -> dict:
+def _timed_parallel(workers: int) -> float:
+    """Cold full-suite evaluation pre-computed on a ``workers``-process pool."""
+    clear_process_caches()
+    context = ExperimentContext.full()
+    scheduler = EvaluationScheduler(max_workers=workers, min_parallel_requests=1)
+
+    def run() -> None:
+        scheduler.prefetch_context(context)
+        context.all_reports()  # memo hits: collects what the pool computed
+
+    return _timed(run)
+
+
+def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
     context = ExperimentContext.full()
@@ -64,6 +81,11 @@ def run_benchmark() -> dict:
 
     warm = _timed(lambda: ExperimentContext.full().all_reports())
 
+    parallel = {
+        str(workers): round(_timed_parallel(workers), 4)
+        for workers in workers_sweep
+    }
+
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -76,6 +98,7 @@ def run_benchmark() -> dict:
             "all_reports_cold_seconds": round(cold, 4),
             "all_reports_warm_seconds": round(warm, 4),
         },
+        "parallel_cold_seconds_by_workers": parallel,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
     }
@@ -86,9 +109,13 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_pipeline.json",
                         help="where to write the JSON result")
+    parser.add_argument("--workers-sweep", default="1,2,4",
+                        help="comma-separated scheduler worker counts to time "
+                             "on the cold full suite (default: 1,2,4)")
     args = parser.parse_args(argv)
 
-    result = run_benchmark()
+    workers_sweep = [int(w) for w in args.workers_sweep.split(",") if w.strip()]
+    result = run_benchmark(workers_sweep)
     args.output.write_text(json.dumps(result, indent=2) + "\n")
 
     current = result["current"]
@@ -100,6 +127,8 @@ def main(argv=None) -> int:
           f"{SEED_ALL_REPORTS_SECONDS:.3f}s)")
     print(f"all_reports warm  : {current['all_reports_warm_seconds']:.3f}s "
           f"({result['speedup_warm_vs_seed']:.1f}x vs seed)")
+    for workers, seconds in result["parallel_cold_seconds_by_workers"].items():
+        print(f"scheduler cold, {workers} worker(s): {seconds:.3f}s")
     print(f"wrote {args.output}")
     return 0
 

@@ -12,16 +12,20 @@ The package is organized as:
 * :mod:`repro.accelerator`, :mod:`repro.model`, :mod:`repro.energy` — the
   ExTensor-like accelerator, the Sparseloop-like analytical engine and the
   Accelergy-like energy model.
-* :mod:`repro.experiments` — regenerate every table and figure of the paper.
+* :mod:`repro.experiments` — registry, scheduler and sweep runner that
+  regenerate every table and figure of the paper.
+* :mod:`repro.cli` — the ``python -m repro`` command line (list / run /
+  sweep experiments, write JSON artifacts).
 
 Quickstart::
 
-    from repro import ExTensorModel, default_suite
+    from repro import ExperimentContext
 
-    suite = default_suite()
-    model = ExTensorModel()
-    reports = model.evaluate_matrix(suite.matrix("roadNet-CA"))
+    context = ExperimentContext.full()
+    reports = context.reports("roadNet-CA")
     print(reports["ExTensor-OB"].speedup_over(reports["ExTensor-N"]))
+
+or from a shell: ``python -m repro run --all``.
 """
 
 from repro.accelerator.config import ArchitectureConfig, paper_extensor_config, scaled_default_config
@@ -29,13 +33,15 @@ from repro.accelerator.extensor import AcceleratorVariant, ExTensorModel, defaul
 from repro.core.overbooking import NaiveTiler, OverbookingTiler, PrescientTiler
 from repro.core.swiftiles import Swiftiles, SwiftilesConfig
 from repro.core.tailors import Tailors, TailorsConfig
+from repro.experiments import ExperimentContext
 from repro.model.workload import WorkloadDescriptor
 from repro.tensor.sparse import SparseMatrix
 from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExperimentContext",
     "ArchitectureConfig",
     "paper_extensor_config",
     "scaled_default_config",

@@ -37,6 +37,21 @@ VARIANT_OVERBOOKING = "ExTensor-OB"
 
 
 @dataclass(frozen=True)
+class OverbookingTilerFactory:
+    """Picklable :class:`~repro.model.engine.TilerFactory` for ExTensor-OB.
+
+    A module-level dataclass rather than a closure so that variant specs can
+    cross the process boundary of the evaluation scheduler.
+    """
+
+    config: SwiftilesConfig
+    rng_seed: int = 7
+
+    def __call__(self) -> OverbookingTiler:
+        return OverbookingTiler(self.config, rng=self.rng_seed)
+
+
+@dataclass(frozen=True)
 class AcceleratorVariant:
     """A named accelerator variant: a tiling strategy plus an overflow policy."""
 
@@ -72,16 +87,12 @@ class AcceleratorVariant:
             samples_in_tail=samples_in_tail,
             sample_all_tiles=sample_all_tiles,
         )
-
-        def factory() -> OverbookingTiler:
-            return OverbookingTiler(config, rng=rng_seed)
-
         name = VARIANT_OVERBOOKING
         if abs(overbooking_target - 0.10) > 1e-12:
             name = f"{VARIANT_OVERBOOKING}(y={overbooking_target:.0%})"
         return cls(name, VariantSpec(
             name=name,
-            tiler_factory=factory,
+            tiler_factory=OverbookingTilerFactory(config, rng_seed=rng_seed),
             policy=FetchPolicy.TAILORS,
         ))
 

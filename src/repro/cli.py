@@ -1,0 +1,239 @@
+"""``python -m repro`` — list, run, and sweep the paper's experiments.
+
+Subcommands
+-----------
+
+``list``
+    Show every registered experiment (name, paper artifact, title).
+
+``run``
+    Regenerate figures/tables: pick experiments by name or ``--all``, choose
+    the workload suite, pre-compute the shared evaluations on a worker pool,
+    print each experiment's text rendering, and write one JSON artifact per
+    experiment (plus a manifest) to the output directory.
+
+``sweep``
+    Run a grid over the overbooking target ``y`` and GLB/PE capacity scaling
+    through the same scheduler, and write JSON + CSV artifacts.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --all
+    python -m repro run fig7 fig8 --suite quick --workers 2
+    python -m repro sweep --y 0.05,0.10,0.22 --glb-scales 0.5,1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments import registry
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheduler import EvaluationScheduler
+from repro.experiments.sweep import format_summaries, sweep_grid
+from repro.tensor.suite import default_suite, small_suite
+from repro.utils.text import format_table
+
+
+def _parse_floats(text: str) -> List[float]:
+    try:
+        return [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of numbers, got {text!r}") from None
+
+
+def _suite_for(name: str):
+    return {"full": default_suite, "quick": small_suite}[name]()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the figures/tables of the Tailors (MICRO 2023) "
+                    "reproduction and run parameter sweeps.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list registered experiments")
+
+    run = subparsers.add_parser("run", help="run experiments, write artifacts")
+    run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help="experiment names (see 'list'); default with --all")
+    run.add_argument("--all", action="store_true", dest="run_all",
+                     help="run every registered experiment")
+    run.add_argument("--suite", choices=("full", "quick"), default="full",
+                     help="workload suite (default: full; quick also switches "
+                          "to each experiment's fast parameter set)")
+    run.add_argument("--overbooking-target", type=float, default=0.10,
+                     metavar="Y", help="ExTensor-OB target y (default: 0.10)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker processes for the evaluation scheduler "
+                          "(default: CPU count; 1 = serial)")
+    run.add_argument("--output-dir", type=Path, default=Path("artifacts"),
+                     metavar="DIR",
+                     help="where JSON artifacts are written (default: artifacts/)")
+    run.add_argument("--no-artifacts", action="store_true",
+                     help="print results only, write nothing")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress experiment text output (artifacts only)")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a y / buffer-scaling grid, write JSON + CSV")
+    sweep.add_argument("--y", type=_parse_floats, default=[0.05, 0.10, 0.22],
+                       metavar="Y1,Y2,...",
+                       help="overbooking targets (default: 0.05,0.10,0.22)")
+    sweep.add_argument("--glb-scales", type=_parse_floats, default=[1.0],
+                       metavar="S1,S2,...",
+                       help="GLB capacity scaling factors (default: 1.0)")
+    sweep.add_argument("--pe-scales", type=_parse_floats, default=[1.0],
+                       metavar="S1,S2,...",
+                       help="PE buffer scaling factors (default: 1.0)")
+    sweep.add_argument("--suite", choices=("full", "quick"), default="full",
+                       help="workload suite (default: full)")
+    sweep.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                       help="restrict to a comma-separated workload subset")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes (default: CPU count; 1 = serial)")
+    sweep.add_argument("--output-dir", type=Path, default=Path("artifacts"),
+                       metavar="DIR",
+                       help="artifact directory (default: artifacts/)")
+    sweep.add_argument("--no-artifacts", action="store_true",
+                       help="print the summary only, write nothing")
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        (experiment.name, experiment.artifact, experiment.title,
+         "-" if experiment.needs_context else "none")
+        for experiment in registry.experiments()
+    ]
+    print(format_table(["name", "artifact", "title", "suite"], rows,
+                       title="Registered experiments"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.run_all:
+        selected = registry.experiments()
+    elif args.experiments:
+        selected = [registry.get(name) for name in args.experiments]
+    else:
+        print("error: name at least one experiment or pass --all",
+              file=sys.stderr)
+        return 2
+
+    quick = args.suite == "quick"
+    params = {
+        experiment.name: dict(experiment.quick_params) if quick else {}
+        for experiment in selected
+    }
+    context = None
+    if any(experiment.needs_context for experiment in selected):
+        context = ExperimentContext.for_suite(
+            args.suite, overbooking_target=args.overbooking_target)
+
+    scheduler = EvaluationScheduler(max_workers=args.workers)
+    start = time.perf_counter()
+    if context is not None:
+        stats = scheduler.prefetch_experiments(context, selected, params)
+        if stats.computed:
+            print(f"[scheduler] {stats.unique} evaluations requested, "
+                  f"{stats.warm} warm, {stats.computed} computed on "
+                  f"{stats.workers} worker(s) in "
+                  f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+        else:
+            print(f"[scheduler] all {stats.unique} evaluations served from "
+                  f"the report memo", file=sys.stderr)
+
+    output_dir: Optional[Path] = None if args.no_artifacts else args.output_dir
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    manifest = []
+    for experiment in selected:
+        run_start = time.perf_counter()
+        result = experiment.run(context if experiment.needs_context else None,
+                                **params[experiment.name])
+        elapsed = time.perf_counter() - run_start
+        if not args.quiet:
+            print(experiment.format_result(result))
+            print()
+        if output_dir is not None:
+            artifact_path = output_dir / f"{experiment.name}.json"
+            payload = {
+                "experiment": experiment.name,
+                "artifact": experiment.artifact,
+                "title": experiment.title,
+                "suite": args.suite if experiment.needs_context else None,
+                "overbooking_target": (args.overbooking_target
+                                       if experiment.needs_context else None),
+                "params": params[experiment.name],
+                "seconds": round(elapsed, 4),
+                "result": experiment.to_json(result),
+            }
+            artifact_path.write_text(json.dumps(payload, indent=2) + "\n")
+            manifest.append({"experiment": experiment.name,
+                             "artifact": experiment.artifact,
+                             "path": artifact_path.name,
+                             "seconds": round(elapsed, 4)})
+        print(f"[{experiment.name}] {experiment.artifact} regenerated "
+              f"in {elapsed:.2f}s", file=sys.stderr)
+
+    if output_dir is not None:
+        manifest_path = output_dir / "manifest.json"
+        manifest_path.write_text(json.dumps({
+            "suite": args.suite,
+            "overbooking_target": args.overbooking_target,
+            "total_seconds": round(time.perf_counter() - start, 4),
+            "experiments": manifest,
+        }, indent=2) + "\n")
+        print(f"wrote {len(manifest)} artifact(s) + manifest to {output_dir}/",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workloads = None
+    if args.workloads:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+    start = time.perf_counter()
+    result = sweep_grid(
+        _suite_for(args.suite),
+        y_values=args.y,
+        glb_scales=args.glb_scales,
+        pe_scales=args.pe_scales,
+        workloads=workloads,
+        max_workers=args.workers,
+    )
+    print(format_summaries(result))
+    print(f"\nsweep of {len(result.points)} point(s) finished in "
+          f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+
+    if not args.no_artifacts:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        json_path = result.write_json(args.output_dir / "sweep.json")
+        csv_path = result.write_csv(args.output_dir / "sweep.csv")
+        print(f"wrote {json_path} and {csv_path}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

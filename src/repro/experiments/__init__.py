@@ -1,30 +1,42 @@
-"""Experiment harness: regenerate every table and figure of the paper.
+"""Experiment framework: registry, shared context, scheduler, sweeps.
 
-Each module exposes a ``run(context)`` function returning a result dataclass
-and a ``format_result(result)`` function rendering it as plain text.  The
-:class:`~repro.experiments.runner.ExperimentContext` caches workload matrices
-and per-variant performance reports so that experiments sharing inputs
-(Figs. 7, 8, 9 all reuse the same evaluations) do not recompute them.
+Every table and figure of the paper is an :class:`~repro.experiments.registry.
+Experiment` that registers itself (via the ``@register`` decorator on its
+``run`` function) when its module is imported — the registry, not a
+hand-maintained table here, is the source of truth for what exists.  Ask it::
 
-Mapping to the paper:
+    from repro.experiments import registry
+    for experiment in registry.experiments():
+        print(experiment.name, experiment.artifact, experiment.title)
 
-========  =====================================================  =============
-Artifact  What it shows                                          Module
-========  =====================================================  =============
-Table 1   tiling strategies: utilization vs. tiling tax          ``table1``
-Table 2   workload characteristics                               ``table2``
-Fig. 1    occupancy distribution of fixed-size tiles             ``fig1``
-Fig. 3/5  buffet vs. Tailors management of an overbooked tile    ``fig5``
-Fig. 7    speedup over ExTensor-N                                ``fig7``
-Fig. 8    energy relative to ExTensor-N                          ``fig8``
-Fig. 9    streaming overhead and data reuse                      ``fig9``
-Fig. 10   speedup of OB over P as a function of y                ``fig10``
-Fig. 11   overbooking rate: initial estimate vs. Swiftiles       ``fig11``
-Fig. 12   Swiftiles error vs. number of samples k                ``fig12``
-Fig. 13   occupancy distributions for one workload               ``fig13``
-========  =====================================================  =============
+The moving parts:
+
+* :mod:`~repro.experiments.registry` — experiment specs and discovery.
+* :mod:`~repro.experiments.runner` — :class:`ExperimentContext`, the cached
+  workloads/model/reports a single process shares across experiments.
+* :mod:`~repro.experiments.scheduler` — batches the evaluation requests of
+  many experiments/contexts, deduplicates them against the process-wide
+  report memo, and fans the cold ones out over worker processes.
+* :mod:`~repro.experiments.sweep` — grids over the overbooking target and
+  buffer scaling, run through the scheduler, serialized to JSON/CSV.
+
+``python -m repro`` (:mod:`repro.cli`) drives all of this from the command
+line; the experiment modules (``fig1`` … ``fig13``, ``table1``/``table2``)
+keep their importable ``run(context)`` / ``format_result(result)`` API for
+direct use.
 """
 
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, clear_process_caches
 
-__all__ = ["ExperimentContext"]
+__all__ = ["ExperimentContext", "clear_process_caches", "registry"]
+
+
+def __getattr__(name):
+    # Lazy: ``repro.experiments.registry`` imports experiment modules that
+    # import this package; deferring the import keeps startup cheap and
+    # avoids the cycle at package-import time.
+    if name == "registry":
+        import importlib
+
+        return importlib.import_module("repro.experiments.registry")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,6 +16,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.tiling.stats import OccupancyStats
 from repro.utils.text import format_histogram, format_table
@@ -52,6 +53,8 @@ class Fig1Result:
         return self.max_occupancy / self.p90_occupancy
 
 
+@register(name="fig1", artifact="Fig. 1",
+          title="occupancy distribution of fixed-size tiles")
 def run(context: ExperimentContext, *, workload: str | None = None,
         tile_fraction: float = 0.125, bins: int = 24) -> Fig1Result:
     """Measure the occupancy distribution of a fixed uniform-shape tiling.

@@ -15,6 +15,7 @@ from typing import List
 import numpy as np
 
 from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.utils.text import format_table
 
@@ -52,6 +53,9 @@ class Fig11Result:
         return float(np.mean([abs(r.swiftiles_rate - self.target) for r in self.rows]))
 
 
+@register(name="fig11", artifact="Fig. 11",
+          title="overbooking rate: initial estimate vs. Swiftiles",
+          quick_params={"capacity": 256})
 def run(context: ExperimentContext, *, capacity: int | None = None,
         target: float = 0.10) -> Fig11Result:
     """Measure initial-estimate and Swiftiles overbooking rates per workload.

@@ -16,6 +16,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.utils.text import format_series
 
@@ -39,6 +40,9 @@ class Fig12Result:
         raise KeyError(f"k={k} was not swept")
 
 
+@register(name="fig12", artifact="Fig. 12",
+          title="Swiftiles error vs. number of samples k",
+          quick_params={"k_values": (0, 2, 5), "capacity": 256})
 def run(context: ExperimentContext, *, k_values: Sequence[int] = DEFAULT_K_SWEEP,
         capacity: int | None = None, target: float = 0.10,
         seed: int = 5) -> Fig12Result:

@@ -20,6 +20,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.core.swiftiles import Swiftiles, SwiftilesConfig
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.tiling.stats import OccupancyStats
 from repro.utils.text import format_table
@@ -46,6 +47,9 @@ class Fig13Result:
         return abs(self.predicted_quantile - self.observed_quantile) / self.buffer_capacity
 
 
+@register(name="fig13", artifact="Fig. 13",
+          title="occupancy distributions for one workload",
+          quick_params={"buffer_capacity": 512})
 def run(context: ExperimentContext, *, workload: str = "amazon0312",
         buffer_capacity: int = 8192, target: float = 0.10,
         num_cdf_points: int = 16) -> Fig13Result:

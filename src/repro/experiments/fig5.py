@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.reuse import ReuseReport, simulate_buffet_tile, simulate_tailors_tile
+from repro.experiments.registry import register
 from repro.core.tailors import Tailors, TailorsConfig
 from repro.utils.text import format_table
 
@@ -48,6 +49,8 @@ class Fig5Result:
         return self.buffet_report.parent_fetches / self.tailors_report.parent_fetches
 
 
+@register(name="fig5", artifact="Fig. 3/5", required_suite="none",
+          title="buffet vs. Tailors management of an overbooked tile")
 def run(*, capacity: int = 4, fifo_region: int = 2,
         tile_occupancy: int = 20, num_passes: int = 3) -> Fig5Result:
     """Reproduce the Fig. 5 trace and a Fig. 3-style reuse comparison."""

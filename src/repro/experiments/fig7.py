@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.model.stats import geometric_mean
 from repro.utils.text import format_table
@@ -54,6 +55,8 @@ class Fig7Result:
         raise KeyError(workload)
 
 
+@register(name="fig7", artifact="Fig. 7",
+          title="speedup over ExTensor-N", needs_reports=True)
 def run(context: ExperimentContext) -> Fig7Result:
     """Evaluate all workloads on the three variants and compute speedups."""
     rows = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.model.stats import geometric_mean
 from repro.utils.text import format_table
@@ -55,6 +56,8 @@ class Fig8Result:
         raise KeyError(workload)
 
 
+@register(name="fig8", artifact="Fig. 8",
+          title="energy relative to ExTensor-N", needs_reports=True)
 def run(context: ExperimentContext) -> Fig8Result:
     """Evaluate energy efficiency of every workload on the three variants."""
     rows = []

@@ -18,6 +18,7 @@ from typing import List
 
 import numpy as np
 
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.utils.text import format_table
 
@@ -57,6 +58,8 @@ class Fig9Result:
         raise KeyError(workload)
 
 
+@register(name="fig9", artifact="Fig. 9",
+          title="streaming overhead and data reuse", needs_reports=True)
 def run(context: ExperimentContext) -> Fig9Result:
     """Collect streaming-overhead and reuse statistics for ExTensor-OB."""
     rows = []

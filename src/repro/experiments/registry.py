@@ -1,0 +1,226 @@
+"""Registry of the paper's experiments (every figure and table).
+
+Each experiment module declares itself with the :func:`register` decorator on
+its ``run`` function::
+
+    @register(name="fig7", artifact="Fig. 7",
+              title="speedup over ExTensor-N", needs_reports=True)
+    def run(context): ...
+
+which replaces the hand-maintained table that used to live in
+``experiments/__init__.py``: the registry *is* the list of experiments, and
+anything driving them (the CLI, the scheduler, the completeness tests) asks it
+instead of hard-coding module names.
+
+An :class:`Experiment` bundles the spec the drivers need:
+
+* ``name`` / ``artifact`` / ``title`` — identity and what paper artifact the
+  experiment regenerates;
+* ``required_suite`` — ``"any"`` for experiments that evaluate the workload
+  suite, ``"none"`` for self-contained ones (the Fig. 5 trace);
+* ``needs_reports`` — whether ``run`` consumes the per-variant
+  :class:`~repro.model.stats.PerformanceReport`s of every suite workload (what
+  the scheduler pre-computes in parallel);
+* ``compute(context, **params)`` — the module's ``run`` function;
+* ``format_result(result)`` / ``to_json(result)`` — rendering, resolved
+  lazily from the defining module (``to_json`` falls back to a generic
+  dataclass-aware converter);
+* ``quick_params`` — parameter overrides that keep the experiment meaningful
+  *and fast* on the three-workload quick suite (used by smoke tests and CI).
+
+:func:`discover` imports every experiment module exactly once so their
+decorators run; every registry accessor calls it, so callers never need to.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+#: The experiment modules, in the paper's artifact order.  ``discover``
+#: imports them; each registers itself via the decorator below.
+EXPERIMENT_MODULES = (
+    "table1", "table2",
+    "fig1", "fig5", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13",
+)
+
+_REGISTRY: Dict[str, "Experiment"] = {}
+_DISCOVERED = False
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert an experiment result into JSON-serializable data.
+
+    Handles (recursively) dataclasses — fields plus any cheap ``@property``
+    aggregates they expose (the geomeans of Fig. 7/8, the MAEs of Fig. 11/12),
+    numpy scalars and arrays, tuples and mappings.  Non-finite floats become
+    strings so the artifact stays valid JSON.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out: Dict[str, Any] = {}
+        for f in dataclasses.fields(value):
+            out[f.name] = to_jsonable(getattr(value, f.name))
+        for attr_name, attr in vars(type(value)).items():
+            if isinstance(attr, property) and attr_name not in out:
+                try:
+                    out[attr_name] = to_jsonable(getattr(value, attr_name))
+                except Exception:  # a property needing arguments/state: skip
+                    continue
+        return out
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return repr(value)
+    return value
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Spec of one registered experiment (see the module docstring)."""
+
+    name: str
+    artifact: str
+    title: str
+    compute: Callable[..., Any] = field(repr=False, compare=False)
+    module: str
+    required_suite: str = "any"
+    needs_reports: bool = False
+    quick_params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def needs_context(self) -> bool:
+        """Whether ``run`` takes an :class:`ExperimentContext`."""
+        return self.required_suite != "none"
+
+    def run(self, context=None, **params) -> Any:
+        """Run the experiment (``context`` is ignored when not needed)."""
+        if self.needs_context:
+            if context is None:
+                raise ValueError(f"experiment {self.name!r} requires a context")
+            return self.compute(context, **params)
+        return self.compute(**params)
+
+    def run_quick(self, context=None) -> Any:
+        """Run with the quick-suite parameter overrides (smoke tests, CI)."""
+        return self.run(context, **dict(self.quick_params))
+
+    def _module_attr(self, attr: str) -> Optional[Callable]:
+        return getattr(sys.modules[self.module], attr, None)
+
+    def evaluation_targets(self, context, **params) -> List[tuple]:
+        """``(overbooking_target, workload)`` pairs this run will evaluate.
+
+        The scheduler unions these across selected experiments and computes
+        the cold ones in parallel before any experiment runs.  A module may
+        refine the default (all suite workloads at the context's target) by
+        defining ``evaluation_requests(context, **params)`` — Fig. 10 does, to
+        announce its ``y`` grid.
+        """
+        hook = self._module_attr("evaluation_requests")
+        if hook is not None and context is not None:
+            return list(hook(context, **params))
+        if self.needs_reports and context is not None:
+            return [(context.overbooking_target, name)
+                    for name in context.workload_names]
+        return []
+
+    def format_result(self, result: Any) -> str:
+        """Render ``result`` as text via the defining module's formatter."""
+        formatter = self._module_attr("format_result")
+        if formatter is None:
+            raise AttributeError(
+                f"module {self.module} defines no format_result()")
+        return formatter(result)
+
+    def to_json(self, result: Any) -> Any:
+        """Convert ``result`` for the JSON artifact.
+
+        Uses the defining module's ``to_json`` when present, else the generic
+        dataclass converter.
+        """
+        converter = self._module_attr("to_json")
+        if converter is not None:
+            return converter(result)
+        return to_jsonable(result)
+
+
+def register(*, name: str, artifact: str, title: str,
+             required_suite: str = "any", needs_reports: bool = False,
+             quick_params: Optional[Mapping[str, Any]] = None):
+    """Class the decorated ``run`` function as the experiment ``name``."""
+    if required_suite not in ("any", "none"):
+        raise ValueError(f"required_suite must be 'any' or 'none', "
+                         f"got {required_suite!r}")
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        if name in _REGISTRY and _REGISTRY[name].module != func.__module__:
+            raise ValueError(f"experiment {name!r} already registered by "
+                             f"{_REGISTRY[name].module}")
+        _REGISTRY[name] = Experiment(
+            name=name,
+            artifact=artifact,
+            title=title,
+            compute=func,
+            module=func.__module__,
+            required_suite=required_suite,
+            needs_reports=needs_reports,
+            quick_params=dict(quick_params or {}),
+        )
+        return func
+
+    return decorate
+
+
+def discover() -> None:
+    """Import every experiment module so their ``@register`` decorators run."""
+    global _DISCOVERED
+    if _DISCOVERED:
+        return
+    package = __name__.rsplit(".", 1)[0]
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(f"{package}.{module}")
+    _DISCOVERED = True
+
+
+def _canonical_order(experiment: Experiment) -> tuple:
+    # Sort by position in EXPERIMENT_MODULES (imports may happen in any
+    # order — e.g. a test importing fig7 before discover() runs); experiments
+    # from unlisted modules go last, in registration order.
+    module = experiment.module.rsplit(".", 1)[-1]
+    try:
+        return (0, EXPERIMENT_MODULES.index(module))
+    except ValueError:
+        return (1, list(_REGISTRY).index(experiment.name))
+
+
+def names() -> List[str]:
+    """Registered experiment names, in the paper's artifact order."""
+    return [experiment.name for experiment in experiments()]
+
+
+def experiments() -> List[Experiment]:
+    """All registered experiments, in the paper's artifact order."""
+    discover()
+    return sorted(_REGISTRY.values(), key=_canonical_order)
+
+
+def get(name: str) -> Experiment:
+    """The experiment registered as ``name`` (``KeyError`` with hint if not)."""
+    discover()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"registered: {list(_REGISTRY)}") from None

@@ -38,10 +38,39 @@ def clear_process_caches() -> None:
     sweep phases to release them.  Also what the benchmark harness uses to
     measure a genuinely cold run in a warm process.
     """
-    from repro.tensor import suite as suite_mod
+    import sys
+
+    from repro.tensor.suite import clear_shared_matrix_cache
 
     _REPORT_MEMO.clear()
-    suite_mod._SHARED_MATRIX_CACHE.clear()
+    clear_shared_matrix_cache()
+    # The scheduler keeps its own suite/context caches for serial fallback;
+    # clear them too (via sys.modules rather than an import: scheduler
+    # imports runner, and an unimported scheduler has nothing to clear).
+    scheduler_mod = sys.modules.get("repro.experiments.scheduler")
+    if scheduler_mod is not None:
+        scheduler_mod.clear_worker_caches()
+
+
+def memoized_reports(memo_key: tuple) -> Optional[Dict[str, PerformanceReport]]:
+    """The process-wide memo entry for ``memo_key``, or ``None`` if cold.
+
+    The key layout is ``(suite token, architecture, overbooking target,
+    workload)`` — what :meth:`ExperimentContext.memo_key` produces.  Used by
+    the parallel scheduler to split a batch into warm and cold requests.
+    """
+    return _REPORT_MEMO.get(memo_key)
+
+
+def store_memoized_reports(memo_key: tuple,
+                           reports: Dict[str, PerformanceReport]) -> None:
+    """Merge externally computed reports into the process-wide memo.
+
+    The scheduler calls this with reports evaluated in worker processes;
+    afterwards any context over the same canonical suite serves them from the
+    memo instead of re-running the engine.
+    """
+    _REPORT_MEMO[memo_key] = dict(reports)
 
 
 @dataclass
@@ -79,6 +108,30 @@ class ExperimentContext:
         """Context over the three-workload test suite (fast smoke runs)."""
         return cls(suite=small_suite(), **kwargs)
 
+    @classmethod
+    def for_suite(cls, suite_name: str, **kwargs) -> "ExperimentContext":
+        """Context over a named canonical suite (``"full"`` or ``"quick"``)."""
+        builders = {"full": cls.full, "quick": cls.quick}
+        try:
+            builder = builders[suite_name]
+        except KeyError:
+            raise KeyError(f"unknown suite {suite_name!r}; "
+                           f"known: {sorted(builders)}") from None
+        return builder(**kwargs)
+
+    def with_overbooking_target(self, overbooking_target: float) -> "ExperimentContext":
+        """A context over the same suite and architecture at a different ``y``.
+
+        The derived context shares this context's suite instance (and with it
+        every cached matrix and tiling), so sweeping ``y`` re-runs only the
+        evaluations that actually depend on it.
+        """
+        return ExperimentContext(
+            suite=self.suite,
+            architecture=self.architecture,
+            overbooking_target=float(overbooking_target),
+        )
+
     # ------------------------------------------------------------------ #
     # Cached accessors
     # ------------------------------------------------------------------ #
@@ -109,11 +162,24 @@ class ExperimentContext:
             self._workloads[name] = WorkloadDescriptor.gram(self.matrix(name), name=name)
         return self._workloads[name]
 
-    def _memo_key(self, name: str):
-        suite_token = self.suite.cache_token
+    @property
+    def suite_token(self):
+        """Picklable identity of the suite (``None`` for custom suites).
+
+        Workers of the parallel scheduler rebuild the suite from this token
+        via :func:`repro.tensor.suite.suite_from_token`.
+        """
+        return self.suite.cache_token
+
+    def memo_key(self, name: str):
+        """Process-wide memo key for workload ``name`` (``None`` = unshared)."""
+        suite_token = self.suite_token
         if suite_token is None:
             return None
         return (suite_token, self.architecture, self.overbooking_target, name)
+
+    # Backwards-compatible alias (pre-scheduler internal name).
+    _memo_key = memo_key
 
     def reports(self, name: str) -> Dict[str, PerformanceReport]:
         """Per-variant performance reports for workload ``name`` (cached).
@@ -150,4 +216,10 @@ class ExperimentContext:
 
     @property
     def overbooking_name(self) -> str:
+        # The OB variant's report name varies with the overbooking target
+        # (e.g. "ExTensor-OB(y=22%)"), so resolve it from the model instead
+        # of returning the y=10% constant.
+        for variant in self.model.variants:
+            if variant.name.startswith(VARIANT_OVERBOOKING):
+                return variant.name
         return VARIANT_OVERBOOKING

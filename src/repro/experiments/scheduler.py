@@ -1,0 +1,242 @@
+"""Parallel evaluation scheduler: batch, deduplicate, fan out, merge.
+
+Every figure/table experiment ultimately consumes per-variant
+:class:`~repro.model.stats.PerformanceReport`s keyed by ``(suite,
+architecture, overbooking target, workload)``.  The scheduler turns that into
+a batch problem:
+
+1. **Batch** — union the :class:`EvaluationRequest`s of all selected
+   experiments (and sweep grid points) up front.
+2. **Deduplicate** — drop requests already present in the process-wide report
+   memo of :mod:`repro.experiments.runner`; experiments sharing evaluations
+   (Figs. 7/8/9, every sweep point at the default ``y``) cost one evaluation.
+3. **Fan out** — evaluate the cold requests on a
+   :class:`~concurrent.futures.ProcessPoolExecutor`.  A request is picklable
+   because it carries the suite's *token*, not the suite: workers rebuild
+   suites from seeds via :func:`repro.tensor.suite.suite_from_token` and keep
+   them (plus their matrix/tiling caches) alive for the life of the worker.
+4. **Merge** — per-variant reports come back pickled and are merged into the
+   process-wide memo, so the experiments afterwards run serially against warm
+   caches.
+
+Evaluation is a deterministic function of the request (seeded generators end
+to end), so the merged reports are identical to what serial execution would
+have produced — ``tests/experiments/test_scheduler.py`` pins that down to
+1e-9 against the single-process golden path.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.accelerator.config import ArchitectureConfig
+from repro.experiments.runner import (
+    ExperimentContext,
+    memoized_reports,
+    store_memoized_reports,
+)
+from repro.model.stats import PerformanceReport
+from repro.tensor.suite import suite_from_token
+
+
+@dataclass(frozen=True)
+class EvaluationRequest:
+    """One unit of schedulable work: evaluate a workload on every variant.
+
+    ``suite_token`` is the picklable identity of a canonical suite (see
+    :attr:`repro.tensor.suite.WorkloadSuite.cache_token`); the other fields
+    mirror the report-memo key, which is what makes deduplication exact.
+    """
+
+    suite_token: tuple
+    architecture: ArchitectureConfig
+    overbooking_target: float
+    workload: str
+
+    @property
+    def memo_key(self) -> tuple:
+        return (self.suite_token, self.architecture,
+                self.overbooking_target, self.workload)
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """What a :meth:`EvaluationScheduler.prefetch` call actually did."""
+
+    requested: int
+    unique: int
+    warm: int
+    computed: int
+    workers: int
+
+
+def requests_for_context(
+        context: ExperimentContext,
+        targets: Optional[Iterable[Tuple[float, str]]] = None,
+) -> List[EvaluationRequest]:
+    """Requests covering ``targets`` (``(y, workload)`` pairs) of a context.
+
+    ``targets`` defaults to every suite workload at the context's overbooking
+    target.  Returns ``[]`` for custom suites (no token — nothing to ship to
+    a worker; such contexts evaluate serially as before).
+    """
+    token = context.suite_token
+    if token is None:
+        return []
+    if targets is None:
+        targets = [(context.overbooking_target, name)
+                   for name in context.workload_names]
+    return [
+        EvaluationRequest(
+            suite_token=token,
+            architecture=context.architecture,
+            overbooking_target=float(y),
+            workload=str(name),
+        )
+        for y, name in targets
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+#: Per-worker caches: suites keyed by token (sharing matrices and their
+#: tiling caches across requests) and contexts keyed by full configuration.
+_WORKER_SUITES: Dict[tuple, object] = {}
+_WORKER_CONTEXTS: Dict[tuple, ExperimentContext] = {}
+
+
+def clear_worker_caches() -> None:
+    """Evict the scheduler's suite/context caches (this process only).
+
+    Called by :func:`repro.experiments.runner.clear_process_caches` so a
+    "cold" measurement is cold on the serial-fallback path too; worker
+    processes of a *future* pool start from whatever the parent holds at
+    fork time.
+    """
+    _WORKER_SUITES.clear()
+    _WORKER_CONTEXTS.clear()
+
+
+def _worker_context(request: EvaluationRequest) -> ExperimentContext:
+    key = (request.suite_token, request.architecture, request.overbooking_target)
+    context = _WORKER_CONTEXTS.get(key)
+    if context is None:
+        suite = _WORKER_SUITES.get(request.suite_token)
+        if suite is None:
+            suite = suite_from_token(request.suite_token)
+            _WORKER_SUITES[request.suite_token] = suite
+        context = ExperimentContext(
+            suite=suite,
+            architecture=request.architecture,
+            overbooking_target=request.overbooking_target,
+        )
+        _WORKER_CONTEXTS[key] = context
+    return context
+
+
+def _evaluate_request(
+        request: EvaluationRequest,
+) -> Tuple[EvaluationRequest, Dict[str, PerformanceReport]]:
+    """Worker entry point: rebuild state from the request and evaluate.
+
+    Runs the exact serial code path (``ExperimentContext.reports``) on
+    reconstructed-but-bit-identical inputs, so the returned reports match
+    serial execution exactly.
+    """
+    context = _worker_context(request)
+    return request, context.reports(request.workload)
+
+
+# --------------------------------------------------------------------- #
+# Parent side
+# --------------------------------------------------------------------- #
+class EvaluationScheduler:
+    """Evaluate batches of requests, in parallel when it pays off.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on worker processes.  ``None`` uses the CPU count; ``1``
+        forces serial in-process evaluation (no pool, no pickling).
+    min_parallel_requests:
+        Below this many cold requests the pool start-up cost outweighs the
+        win; they are evaluated in-process instead.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 min_parallel_requests: int = 4):
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        self.max_workers = max(1, int(max_workers))
+        self.min_parallel_requests = max(1, int(min_parallel_requests))
+
+    # ------------------------------------------------------------------ #
+    def prefetch(self, requests: Sequence[EvaluationRequest]) -> ScheduleStats:
+        """Ensure every request's reports are in the process-wide memo.
+
+        Deduplicates against the memo, evaluates the cold remainder (in
+        parallel when worth it), merges the results, and reports what it did.
+        Afterwards ``context.reports(...)`` for any covered configuration is
+        a memo hit.
+        """
+        unique: Dict[tuple, EvaluationRequest] = {}
+        for request in requests:
+            if request.suite_token is None:
+                raise ValueError(
+                    "cannot schedule a request without a suite token; custom "
+                    "suites must be evaluated in-process via their context")
+            unique.setdefault(request.memo_key, request)
+
+        cold = [request for key, request in unique.items()
+                if memoized_reports(key) is None]
+        # Group same-workload requests (which share tilings at equal
+        # capacities) so chunking keeps them on one worker.
+        cold.sort(key=lambda r: (r.workload, r.overbooking_target))
+
+        workers = min(self.max_workers, len(cold))
+        if workers <= 1 or len(cold) < self.min_parallel_requests:
+            for request in cold:
+                _, reports = _evaluate_request(request)
+                store_memoized_reports(request.memo_key, reports)
+            workers = min(workers, 1)
+        else:
+            chunksize = max(1, -(-len(cold) // (workers * 4)))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                for request, reports in executor.map(
+                        _evaluate_request, cold, chunksize=chunksize):
+                    store_memoized_reports(request.memo_key, reports)
+
+        return ScheduleStats(
+            requested=len(requests),
+            unique=len(unique),
+            warm=len(unique) - len(cold),
+            computed=len(cold),
+            workers=workers,
+        )
+
+    def prefetch_context(
+            self, context: ExperimentContext,
+            targets: Optional[Iterable[Tuple[float, str]]] = None,
+    ) -> ScheduleStats:
+        """:meth:`prefetch` for one context (default: all suite workloads)."""
+        return self.prefetch(requests_for_context(context, targets))
+
+    def prefetch_experiments(self, context: ExperimentContext, experiments,
+                             params: Optional[Dict[str, dict]] = None,
+                             ) -> ScheduleStats:
+        """Prefetch the union of evaluation targets of ``experiments``.
+
+        ``params`` optionally maps experiment name → the keyword arguments the
+        caller will pass to ``run`` (so e.g. a restricted Fig. 10 ``y`` grid
+        announces exactly the evaluations it will perform).
+        """
+        params = params or {}
+        targets = []
+        for experiment in experiments:
+            targets.extend(experiment.evaluation_targets(
+                context, **params.get(experiment.name, {})))
+        return self.prefetch(requests_for_context(context, targets))

@@ -1,0 +1,268 @@
+"""Parameter-sweep runner: grids over ``y`` and buffer scaling, scheduled.
+
+The ROADMAP's scenario sweeps (overbooking target, GLB/PE capacity scaling,
+suite subsets) all reduce to evaluating the same suite under a grid of
+``(architecture, overbooking_target)`` configurations.  :func:`sweep_grid`
+builds one :class:`~repro.experiments.runner.ExperimentContext` per grid
+point, batches *all* their evaluation requests through the
+:class:`~repro.experiments.scheduler.EvaluationScheduler` (one fan-out for
+the whole grid, deduplicated against anything already evaluated), then
+collects per-workload rows and per-point geometric-mean summaries from the
+warm memo.
+
+Results serialize to JSON (:meth:`SweepResult.write_json`) and CSV
+(:meth:`SweepResult.write_csv`); the CLI's ``sweep`` subcommand is a thin
+wrapper over this module.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.accelerator.config import ArchitectureConfig, scaled_default_config
+from repro.experiments.registry import to_jsonable
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheduler import (
+    EvaluationScheduler,
+    ScheduleStats,
+    requests_for_context,
+)
+from repro.model.stats import geometric_mean
+from repro.tensor.suite import WorkloadSuite
+
+#: Default overbooking-target grid: below, at, and above the paper's y = 10%.
+DEFAULT_Y_VALUES = (0.05, 0.10, 0.22)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid configuration (scales are relative to the base architecture)."""
+
+    overbooking_target: float
+    glb_scale: float
+    pe_scale: float
+    glb_capacity_words: int
+    pe_buffer_capacity_words: int
+
+    @property
+    def label(self) -> str:
+        return (f"y={self.overbooking_target:.0%} "
+                f"glb×{self.glb_scale:g} pe×{self.pe_scale:g}")
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """Per-workload outcome at one grid point."""
+
+    overbooking_target: float
+    glb_scale: float
+    pe_scale: float
+    workload: str
+    naive_cycles: float
+    prescient_cycles: float
+    overbooking_cycles: float
+    naive_energy_pj: float
+    prescient_energy_pj: float
+    overbooking_energy_pj: float
+    overbooking_dram_words: float
+    glb_overbooking_rate: float
+
+    @property
+    def speedup_ob_vs_naive(self) -> float:
+        return self.naive_cycles / self.overbooking_cycles
+
+    @property
+    def speedup_ob_vs_prescient(self) -> float:
+        return self.prescient_cycles / self.overbooking_cycles
+
+    @property
+    def energy_ratio_ob_vs_naive(self) -> float:
+        return self.naive_energy_pj / self.overbooking_energy_pj
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Geometric-mean aggregates of one grid point over its workloads."""
+
+    point: SweepPoint
+    geomean_speedup_ob_vs_naive: float
+    geomean_speedup_ob_vs_prescient: float
+    geomean_energy_ratio_ob_vs_naive: float
+
+
+#: Column order of :meth:`SweepResult.write_csv`.
+_CSV_COLUMNS = (
+    "overbooking_target", "glb_scale", "pe_scale", "workload",
+    "naive_cycles", "prescient_cycles", "overbooking_cycles",
+    "speedup_ob_vs_naive", "speedup_ob_vs_prescient",
+    "naive_energy_pj", "prescient_energy_pj", "overbooking_energy_pj",
+    "energy_ratio_ob_vs_naive", "overbooking_dram_words",
+    "glb_overbooking_rate",
+)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a sweep produced, ready for artifacts."""
+
+    suite_workloads: List[str]
+    base_architecture: str
+    points: List[SweepPoint]
+    rows: List[SweepRow]
+    summaries: List[SweepSummary]
+    schedule: ScheduleStats
+
+    def summary_at(self, y: float, *, glb_scale: float = 1.0,
+                   pe_scale: float = 1.0) -> SweepSummary:
+        for summary in self.summaries:
+            point = summary.point
+            if (abs(point.overbooking_target - y) < 1e-9
+                    and abs(point.glb_scale - glb_scale) < 1e-9
+                    and abs(point.pe_scale - pe_scale) < 1e-9):
+                return summary
+        raise KeyError(f"no sweep point y={y} glb×{glb_scale} pe×{pe_scale}")
+
+    def to_jsonable(self) -> dict:
+        return to_jsonable(self)
+
+    def write_json(self, path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_jsonable(), indent=2) + "\n")
+        return path
+
+    def write_csv(self, path) -> Path:
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(_CSV_COLUMNS)
+            for row in self.rows:
+                writer.writerow([getattr(row, column) for column in _CSV_COLUMNS])
+        return path
+
+
+def _scaled_architecture(base: ArchitectureConfig, glb_scale: float,
+                         pe_scale: float) -> ArchitectureConfig:
+    if glb_scale == 1.0 and pe_scale == 1.0:
+        return base
+    return base.with_overrides(
+        glb_capacity_words=max(1, int(round(base.glb_capacity_words * glb_scale))),
+        pe_buffer_capacity_words=max(
+            1, int(round(base.pe_buffer_capacity_words * pe_scale))),
+    )
+
+
+def sweep_grid(suite: WorkloadSuite, *,
+               y_values: Sequence[float] = DEFAULT_Y_VALUES,
+               glb_scales: Sequence[float] = (1.0,),
+               pe_scales: Sequence[float] = (1.0,),
+               base_architecture: Optional[ArchitectureConfig] = None,
+               workloads: Optional[Sequence[str]] = None,
+               scheduler: Optional[EvaluationScheduler] = None,
+               max_workers: Optional[int] = None) -> SweepResult:
+    """Evaluate the full ``glb × pe × y`` grid over ``suite``.
+
+    ``workloads`` restricts the sweep to a subset of the suite.  All grid
+    points are batched through one scheduler prefetch; pass ``max_workers=1``
+    (or a pre-configured ``scheduler``) to force serial evaluation.
+    """
+    if not y_values:
+        raise ValueError("y_values must not be empty")
+    base = base_architecture or scaled_default_config()
+    if workloads is not None:
+        suite = suite.subset(list(workloads))
+    if scheduler is None:
+        scheduler = EvaluationScheduler(max_workers=max_workers)
+
+    contexts: List[ExperimentContext] = []
+    points: List[SweepPoint] = []
+    for glb_scale in glb_scales:
+        for pe_scale in pe_scales:
+            architecture = _scaled_architecture(base, float(glb_scale),
+                                                float(pe_scale))
+            for y in y_values:
+                contexts.append(ExperimentContext(
+                    suite=suite, architecture=architecture,
+                    overbooking_target=float(y)))
+                points.append(SweepPoint(
+                    overbooking_target=float(y),
+                    glb_scale=float(glb_scale),
+                    pe_scale=float(pe_scale),
+                    glb_capacity_words=architecture.glb_capacity_words,
+                    pe_buffer_capacity_words=architecture.pe_buffer_capacity_words,
+                ))
+
+    requests = []
+    for context in contexts:
+        requests.extend(requests_for_context(context))
+    stats = scheduler.prefetch(requests)
+
+    rows: List[SweepRow] = []
+    summaries: List[SweepSummary] = []
+    for context, point in zip(contexts, points):
+        point_rows: List[SweepRow] = []
+        for name in context.workload_names:
+            reports = context.reports(name)
+            naive = reports[context.naive_name]
+            prescient = reports[context.prescient_name]
+            overbooking = reports[context.overbooking_name]
+            point_rows.append(SweepRow(
+                overbooking_target=point.overbooking_target,
+                glb_scale=point.glb_scale,
+                pe_scale=point.pe_scale,
+                workload=name,
+                naive_cycles=naive.cycles,
+                prescient_cycles=prescient.cycles,
+                overbooking_cycles=overbooking.cycles,
+                naive_energy_pj=naive.total_energy_pj,
+                prescient_energy_pj=prescient.total_energy_pj,
+                overbooking_energy_pj=overbooking.total_energy_pj,
+                overbooking_dram_words=overbooking.dram_words,
+                glb_overbooking_rate=overbooking.glb_overbooking_rate,
+            ))
+        rows.extend(point_rows)
+        summaries.append(SweepSummary(
+            point=point,
+            geomean_speedup_ob_vs_naive=geometric_mean(
+                r.speedup_ob_vs_naive for r in point_rows),
+            geomean_speedup_ob_vs_prescient=geometric_mean(
+                r.speedup_ob_vs_prescient for r in point_rows),
+            geomean_energy_ratio_ob_vs_naive=geometric_mean(
+                r.energy_ratio_ob_vs_naive for r in point_rows),
+        ))
+
+    return SweepResult(
+        suite_workloads=list(suite.names),
+        base_architecture=base.name,
+        points=points,
+        rows=rows,
+        summaries=summaries,
+        schedule=stats,
+    )
+
+
+def format_summaries(result: SweepResult) -> str:
+    """Plain-text summary table of a sweep (one line per grid point)."""
+    from repro.utils.text import format_table
+
+    schedule = result.schedule
+    schedule_note = (
+        f"scheduler computed {schedule.computed} evaluations on "
+        f"{schedule.workers} worker(s)" if schedule.computed
+        else "all evaluations served from the report memo")
+    return format_table(
+        ["point", "OB/N speedup", "OB/P speedup", "OB/N energy"],
+        [
+            (s.point.label,
+             f"{s.geomean_speedup_ob_vs_naive:.2f}x",
+             f"{s.geomean_speedup_ob_vs_prescient:.2f}x",
+             f"{s.geomean_energy_ratio_ob_vs_naive:.2f}x")
+            for s in result.summaries
+        ],
+        title=(f"Sweep over {len(result.points)} grid points, "
+               f"{len(result.suite_workloads)} workloads "
+               f"(geometric means; {schedule_note})"),
+    )

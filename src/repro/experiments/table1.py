@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.overbooking import NaiveTiler, OverbookingTiler, PrescientTiler
 from repro.core.swiftiles import SwiftilesConfig
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.tiling.position import position_space_tiling
 from repro.utils.text import format_table
@@ -53,6 +54,8 @@ def _qualitative(value: float, thresholds: List[float], labels: List[str]) -> st
     return labels[-1]
 
 
+@register(name="table1", artifact="Table 1",
+          title="tiling strategies: utilization vs. tiling tax")
 def run(context: ExperimentContext) -> Table1Result:
     """Measure utilization and tax of the four strategies over the suite."""
     capacity = context.architecture.glb_capacity_words

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.experiments.registry import register
 from repro.experiments.runner import ExperimentContext
 from repro.utils.text import format_table
 
@@ -40,6 +41,8 @@ class Table2Result:
         raise KeyError(name)
 
 
+@register(name="table2", artifact="Table 2",
+          title="workload characteristics")
 def run(context: ExperimentContext) -> Table2Result:
     """Collect the workload characteristics of every suite entry."""
     rows = []

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -40,8 +40,38 @@ from repro.model.stats import PerformanceReport, TrafficBreakdown
 from repro.model.traffic import FetchPolicy, LevelTraffic, operand_fetches
 from repro.model.workload import WorkloadDescriptor
 
+if TYPE_CHECKING:
+    from repro.core.overbooking import TilerResult
+    from repro.tensor.sparse import SparseMatrix
+
 #: Words written per output nonzero (coordinate + value).
 _OUTPUT_WORDS_PER_NONZERO = 2.0
+
+
+@runtime_checkable
+class Tiler(Protocol):
+    """Structural type of a tiling strategy.
+
+    Anything with a ``tile(matrix, capacity) -> TilerResult`` method — the
+    concrete strategies live in :mod:`repro.core.overbooking` and
+    :mod:`repro.tiling.position`.
+    """
+
+    def tile(self, matrix: "SparseMatrix", capacity: int) -> "TilerResult":
+        ...
+
+
+@runtime_checkable
+class TilerFactory(Protocol):
+    """Zero-argument callable producing a fresh :class:`Tiler`.
+
+    Implementations must be picklable (a class, or an instance of a
+    module-level class — not a closure) so that :class:`VariantSpec` can cross
+    the process boundary of the evaluation scheduler.
+    """
+
+    def __call__(self) -> Tiler:
+        ...
 
 
 @dataclass(frozen=True)
@@ -53,18 +83,18 @@ class VariantSpec:
     name:
         Variant name used in reports (e.g. ``"ExTensor-OB"``).
     tiler_factory:
-        Zero-argument callable returning a fresh tiler (an object with a
-        ``tile(matrix, capacity) -> TilerResult`` method).  A fresh tiler per
-        evaluation keeps random sampling streams independent across workloads.
+        A :class:`TilerFactory`: zero-argument callable returning a fresh
+        tiler.  A fresh tiler per evaluation keeps random sampling streams
+        independent across workloads.
     policy:
         Overflow-handling policy of the variant's buffers.
     """
 
     name: str
-    tiler_factory: object
+    tiler_factory: TilerFactory
     policy: FetchPolicy
 
-    def make_tiler(self):
+    def make_tiler(self) -> Tiler:
         return self.tiler_factory()
 
 

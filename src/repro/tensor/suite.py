@@ -71,8 +71,27 @@ class WorkloadSpec:
 #: source, so matrices can be shared across suite instances — constructing a
 #: fresh ``ExperimentContext`` does not regenerate 22 synthetic tensors.
 #: Keyed by ``(cache_scope, seed, workload name)``; suites built from custom
-#: specs have no scope and never share.
+#: specs have no scope and never share.  Manage it through
+#: :func:`clear_shared_matrix_cache` / :func:`shared_matrix_cache_size`, not
+#: by reaching into the dict.
 _SHARED_MATRIX_CACHE: Dict[tuple, SparseMatrix] = {}
+
+
+def clear_shared_matrix_cache() -> None:
+    """Evict the process-wide matrix cache of the canonical suites.
+
+    Dropping the matrices also drops every per-matrix derived-result cache
+    (transposes, tilings, occupancy scans) hanging off them.  Benchmarks use
+    this to measure genuinely cold runs; long sweeps over many seeds can use
+    it to bound memory.  Suites already holding references keep their own
+    per-instance caches — only *future* suite instances rebuild.
+    """
+    _SHARED_MATRIX_CACHE.clear()
+
+
+def shared_matrix_cache_size() -> int:
+    """Number of canonical-suite matrices currently cached process-wide."""
+    return len(_SHARED_MATRIX_CACHE)
 
 
 class WorkloadSuite:
@@ -301,6 +320,31 @@ def default_suite(seed: int = 2023) -> WorkloadSuite:
     return WorkloadSuite(_default_specs(), seed=seed, cache_scope="table2")
 
 
+def suite_from_token(token: tuple) -> "WorkloadSuite":
+    """Rebuild a canonical suite (or a subset of one) from its ``cache_token``.
+
+    The token — ``(cache_scope, seed, workload order)`` — is hashable and
+    picklable, so it can cross a process boundary where the suite itself (its
+    specs hold closures) cannot.  Worker processes of the evaluation scheduler
+    use this to reconstruct bit-identical suites from seeds; see
+    :mod:`repro.experiments.scheduler`.
+
+    Raises ``KeyError`` for tokens whose scope is not a canonical suite or
+    whose order names unknown workloads.
+    """
+    scope, seed, order = token
+    try:
+        builder = _CANONICAL_SUITE_BUILDERS[scope]
+    except KeyError:
+        raise KeyError(
+            f"unknown canonical suite scope {scope!r}; "
+            f"known: {sorted(_CANONICAL_SUITE_BUILDERS)}") from None
+    suite = builder(int(seed))
+    if list(order) != suite.names:
+        suite = suite.subset(list(order))
+    return suite
+
+
 def small_suite(seed: int = 2023) -> WorkloadSuite:
     """A three-workload suite (one per structure class) for tests and demos."""
     small = [
@@ -331,3 +375,11 @@ def small_suite(seed: int = 2023) -> WorkloadSuite:
         ),
     ]
     return WorkloadSuite(small, seed=seed, cache_scope="small")
+
+
+#: ``cache_scope`` → builder, used by :func:`suite_from_token` to reconstruct
+#: canonical suites in scheduler worker processes.
+_CANONICAL_SUITE_BUILDERS: Dict[str, Callable[[int], WorkloadSuite]] = {
+    "table2": default_suite,
+    "small": small_suite,
+}

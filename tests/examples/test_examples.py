@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is executed in a subprocess (they manage ``sys.path``
+themselves) under its quick/small configuration where one exists, so a CLI or
+framework change that breaks an example fails the suite instead of rotting
+silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+
+#: script name -> (argv, a string the output must contain)
+EXAMPLES = {
+    "quickstart.py": (["--suite", "quick"], "ExTensor-OB"),
+    "tailors_buffer_trace.py": ([], "parent fetches"),
+    "swiftiles_tile_sizing.py": ([], "T_target"),
+    "accelerator_design_space.py": (["--quick", "--workers", "1"], "GLB scale"),
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXAMPLES), (
+        "examples/ changed; update EXAMPLES so new scripts stay smoke-tested")
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES))
+def test_example_runs(script):
+    argv, needle = EXAMPLES[script]
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *argv],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert needle in completed.stdout, (
+        f"{script} output missing {needle!r}:\n{completed.stdout[-2000:]}")

@@ -1,0 +1,86 @@
+"""CLI smoke tests (in-process via ``repro.cli.main``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "table2", "fig1", "fig5", "fig7", "fig13"):
+            assert name in out
+
+
+class TestRun:
+    def test_requires_names_or_all(self, capsys):
+        assert main(["run"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="fig99"):
+            main(["run", "fig99", "--no-artifacts"])
+
+    def test_single_experiment_quick(self, tmp_path, capsys):
+        code = main(["run", "fig7", "--suite", "quick", "--workers", "1",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out and "geomean" in out
+
+        payload = json.loads((tmp_path / "fig7.json").read_text())
+        assert payload["experiment"] == "fig7"
+        assert payload["artifact"] == "Fig. 7"
+        assert payload["suite"] == "quick"
+        assert len(payload["result"]["rows"]) == 3
+
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert [e["experiment"] for e in manifest["experiments"]] == ["fig7"]
+
+    def test_run_all_quick_writes_every_artifact(self, tmp_path):
+        code = main(["run", "--all", "--suite", "quick", "--workers", "1",
+                     "--quiet", "--output-dir", str(tmp_path)])
+        assert code == 0
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        names = [entry["experiment"] for entry in manifest["experiments"]]
+        assert len(names) == 11
+        for entry in manifest["experiments"]:
+            artifact = json.loads((tmp_path / entry["path"]).read_text())
+            assert artifact["experiment"] == entry["experiment"]
+            assert artifact["result"] is not None
+
+    def test_no_artifacts_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["run", "fig5", "--no-artifacts", "--quiet"]) == 0
+        assert not (tmp_path / "artifacts").exists()
+
+
+class TestSweep:
+    def test_sweep_quick_three_targets(self, tmp_path, capsys):
+        code = main(["sweep", "--suite", "quick", "--y", "0.05,0.1,0.22",
+                     "--workers", "1", "--output-dir", str(tmp_path)])
+        assert code == 0
+        assert "OB/P speedup" in capsys.readouterr().out
+
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert len(payload["summaries"]) == 3
+        assert payload["schedule"]["computed"] <= 9  # memo may be warm
+
+        csv_lines = (tmp_path / "sweep.csv").read_text().splitlines()
+        assert len(csv_lines) == 1 + 3 * 3  # header + targets x workloads
+
+    def test_sweep_workload_subset(self, tmp_path):
+        code = main(["sweep", "--suite", "quick", "--y", "0.1",
+                     "--workloads", "tiny-fem", "--workers", "1",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert payload["suite_workloads"] == ["tiny-fem"]
+
+    def test_bad_float_list_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--y", "abc"])
+        assert "comma-separated" in capsys.readouterr().err
