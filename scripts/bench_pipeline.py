@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -81,15 +82,29 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
 
     warm = _timed(lambda: ExperimentContext.full().all_reports())
 
-    parallel = {
-        str(workers): round(_timed_parallel(workers), 4)
-        for workers in workers_sweep
-    }
+    # On a 1-core machine the worker sweep measures ProcessPoolExecutor
+    # overhead, not parallel scaling (every pool worker timeshares the single
+    # core), which badly distorts the recorded trajectory.  Record the core
+    # count and skip the sweep with a note instead.
+    cpu_count = os.cpu_count() or 1
+    if cpu_count <= 1:
+        parallel = {}
+        parallel_note = (
+            "skipped: os.cpu_count() == 1, so a worker sweep would measure "
+            "pool overhead rather than scaling; re-run on multi-core "
+            "hardware")
+    else:
+        parallel = {
+            str(workers): round(_timed_parallel(workers), 4)
+            for workers in workers_sweep
+        }
+        parallel_note = f"measured on {cpu_count} cores"
 
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "cpu_count": cpu_count,
         "seed": {"all_reports_cold_seconds": SEED_ALL_REPORTS_SECONDS},
         "current": {
             "matrix_generation_seconds": round(generation, 4),
@@ -99,6 +114,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
             "all_reports_warm_seconds": round(warm, 4),
         },
         "parallel_cold_seconds_by_workers": parallel,
+        "parallel_note": parallel_note,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
     }
@@ -127,8 +143,11 @@ def main(argv=None) -> int:
           f"{SEED_ALL_REPORTS_SECONDS:.3f}s)")
     print(f"all_reports warm  : {current['all_reports_warm_seconds']:.3f}s "
           f"({result['speedup_warm_vs_seed']:.1f}x vs seed)")
-    for workers, seconds in result["parallel_cold_seconds_by_workers"].items():
-        print(f"scheduler cold, {workers} worker(s): {seconds:.3f}s")
+    if result["parallel_cold_seconds_by_workers"]:
+        for workers, seconds in result["parallel_cold_seconds_by_workers"].items():
+            print(f"scheduler cold, {workers} worker(s): {seconds:.3f}s")
+    else:
+        print(f"worker sweep {result['parallel_note']}")
     print(f"wrote {args.output}")
     return 0
 

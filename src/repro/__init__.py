@@ -35,10 +35,11 @@ from repro.core.swiftiles import Swiftiles, SwiftilesConfig
 from repro.core.tailors import Tailors, TailorsConfig
 from repro.experiments import ExperimentContext
 from repro.model.workload import WorkloadDescriptor
+from repro.tensor.kernels import KERNELS, build_kernel_workload, kernel_names
 from repro.tensor.sparse import SparseMatrix
-from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
+from repro.tensor.suite import WorkloadSuite, corpus_suite, default_suite, small_suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentContext",
@@ -58,6 +59,10 @@ __all__ = [
     "WorkloadDescriptor",
     "SparseMatrix",
     "WorkloadSuite",
+    "KERNELS",
+    "build_kernel_workload",
+    "kernel_names",
+    "corpus_suite",
     "default_suite",
     "small_suite",
     "__version__",

@@ -16,12 +16,21 @@ Subcommands
     Run a grid over the overbooking target ``y`` and GLB/PE capacity scaling
     through the same scheduler, and write JSON + CSV artifacts.
 
+Both ``run`` and ``sweep`` take a kernel axis (``--kernel``; Gram SpMSpM,
+general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`) and can
+evaluate real MatrixMarket corpora instead of the synthetic suite
+(``--matrix path.mtx[.gz]``, repeatable).
+
 Examples::
 
     python -m repro list
     python -m repro run --all
     python -m repro run fig7 fig8 --suite quick --workers 2
+    python -m repro run fig7 --kernel spmm --suite quick
+    python -m repro run table3 --suite quick        # all kernels, one table
+    python -m repro run fig7 --matrix data/cage4.mtx.gz
     python -m repro sweep --y 0.05,0.10,0.22 --glb-scales 0.5,1.0
+    python -m repro sweep --kernel gram,spmm,spmv --suite quick
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import EvaluationScheduler
 from repro.experiments.sweep import format_summaries, sweep_grid
-from repro.tensor.suite import default_suite, small_suite
+from repro.tensor.kernels import kernel_names
+from repro.tensor.suite import corpus_suite, default_suite, small_suite
 from repro.utils.text import format_table
 
 
@@ -49,8 +59,21 @@ def _parse_floats(text: str) -> List[float]:
             f"expected a comma-separated list of numbers, got {text!r}") from None
 
 
-def _suite_for(name: str):
-    return {"full": default_suite, "quick": small_suite}[name]()
+def _parse_kernels(text: str) -> List[str]:
+    kernels = [part.strip() for part in text.split(",") if part.strip()]
+    unknown = [k for k in kernels if k not in kernel_names()]
+    if unknown or not kernels:
+        raise argparse.ArgumentTypeError(
+            f"unknown kernel(s) {unknown or text!r}; "
+            f"known: {', '.join(kernel_names())}")
+    return kernels
+
+
+def _suite_for(args: argparse.Namespace):
+    """The workload suite for ``run``/``sweep``: corpus files or a built-in."""
+    if args.matrix:
+        return corpus_suite([str(path) for path in args.matrix])
+    return {"full": default_suite, "quick": small_suite}[args.suite]()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--suite", choices=("full", "quick"), default="full",
                      help="workload suite (default: full; quick also switches "
                           "to each experiment's fast parameter set)")
+    run.add_argument("--matrix", action="append", type=Path, default=None,
+                     metavar="PATH.mtx[.gz]",
+                     help="evaluate real MatrixMarket matrices instead of the "
+                          "synthetic suite (repeatable; overrides --suite)")
+    run.add_argument("--kernel", choices=kernel_names(), default="gram",
+                     help="kernel to evaluate the workloads under "
+                          "(default: gram, the paper's A x A^T)")
     run.add_argument("--overbooking-target", type=float, default=0.10,
                      metavar="Y", help="ExTensor-OB target y (default: 0.10)")
     run.add_argument("--workers", type=int, default=None, metavar="N",
@@ -95,8 +125,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--pe-scales", type=_parse_floats, default=[1.0],
                        metavar="S1,S2,...",
                        help="PE buffer scaling factors (default: 1.0)")
+    sweep.add_argument("--kernel", type=_parse_kernels, default=["gram"],
+                       metavar="K1,K2,...", dest="kernels",
+                       help="kernel grid dimension (comma-separated; "
+                            f"known: {', '.join(kernel_names())}; "
+                            "default: gram)")
     sweep.add_argument("--suite", choices=("full", "quick"), default="full",
                        help="workload suite (default: full)")
+    sweep.add_argument("--matrix", action="append", type=Path, default=None,
+                       metavar="PATH.mtx[.gz]",
+                       help="sweep over real MatrixMarket matrices instead of "
+                            "the synthetic suite (repeatable; overrides "
+                            "--suite)")
     sweep.add_argument("--workloads", default=None, metavar="W1,W2,...",
                        help="restrict to a comma-separated workload subset")
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
@@ -115,10 +155,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = [
         (experiment.name, experiment.artifact, experiment.title,
-         "-" if experiment.needs_context else "none")
+         "-" if experiment.needs_context else "none",
+         experiment.kernel_axis)
         for experiment in registry.experiments()
     ]
-    print(format_table(["name", "artifact", "title", "suite"], rows,
+    print(format_table(["name", "artifact", "title", "suite", "kernels"], rows,
                        title="Registered experiments"))
     return 0
 
@@ -138,10 +179,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         experiment.name: dict(experiment.quick_params) if quick else {}
         for experiment in selected
     }
+
+    # The kernel(s) actually reflected in each experiment's results: report
+    # consumers follow --kernel; matrix-direct experiments model a fixed
+    # kernel and cross-kernel tables (table3) always evaluate their whole
+    # declared family, both regardless of the flag (warn so artifacts are
+    # never mislabeled).
+    def effective_kernel(experiment):
+        if not experiment.needs_context or not experiment.kernels:
+            return None
+        if "any" in experiment.kernels:
+            return args.kernel
+        if len(experiment.kernels) > 1:
+            return "all"
+        return experiment.kernels[0]
+
+    for experiment in selected:
+        effective = effective_kernel(experiment)
+        if (experiment.needs_context and args.kernel != "gram"
+                and effective != args.kernel):
+            pinned = ",".join(experiment.kernels) if experiment.kernels else "no"
+            print(f"[warning] {experiment.name} is pinned to kernel(s) "
+                  f"{pinned}; --kernel {args.kernel} does not apply to it",
+                  file=sys.stderr)
     context = None
     if any(experiment.needs_context for experiment in selected):
-        context = ExperimentContext.for_suite(
-            args.suite, overbooking_target=args.overbooking_target)
+        if args.matrix:
+            context = ExperimentContext(
+                suite=_suite_for(args),
+                overbooking_target=args.overbooking_target,
+                kernel=args.kernel)
+        else:
+            context = ExperimentContext.for_suite(
+                args.suite, overbooking_target=args.overbooking_target,
+                kernel=args.kernel)
 
     scheduler = EvaluationScheduler(max_workers=args.workers)
     start = time.perf_counter()
@@ -175,7 +246,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "experiment": experiment.name,
                 "artifact": experiment.artifact,
                 "title": experiment.title,
-                "suite": args.suite if experiment.needs_context else None,
+                "suite": (("corpus" if args.matrix else args.suite)
+                          if experiment.needs_context else None),
+                "kernel": effective_kernel(experiment),
                 "overbooking_target": (args.overbooking_target
                                        if experiment.needs_context else None),
                 "params": params[experiment.name],
@@ -210,10 +283,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      if name.strip()]
     start = time.perf_counter()
     result = sweep_grid(
-        _suite_for(args.suite),
+        _suite_for(args),
         y_values=args.y,
         glb_scales=args.glb_scales,
         pe_scales=args.pe_scales,
+        kernels=args.kernels,
         workloads=workloads,
         max_workers=args.workers,
     )

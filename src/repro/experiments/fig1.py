@@ -54,7 +54,8 @@ class Fig1Result:
 
 
 @register(name="fig1", artifact="Fig. 1",
-          title="occupancy distribution of fixed-size tiles")
+          title="occupancy distribution of fixed-size tiles",
+          kernels=("gram",))
 def run(context: ExperimentContext, *, workload: str | None = None,
         tile_fraction: float = 0.125, bins: int = 24) -> Fig1Result:
     """Measure the occupancy distribution of a fixed uniform-shape tiling.

@@ -55,7 +55,7 @@ class Fig11Result:
 
 @register(name="fig11", artifact="Fig. 11",
           title="overbooking rate: initial estimate vs. Swiftiles",
-          quick_params={"capacity": 256})
+          quick_params={"capacity": 256}, kernels=("gram",))
 def run(context: ExperimentContext, *, capacity: int | None = None,
         target: float = 0.10) -> Fig11Result:
     """Measure initial-estimate and Swiftiles overbooking rates per workload.

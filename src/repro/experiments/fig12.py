@@ -42,7 +42,8 @@ class Fig12Result:
 
 @register(name="fig12", artifact="Fig. 12",
           title="Swiftiles error vs. number of samples k",
-          quick_params={"k_values": (0, 2, 5), "capacity": 256})
+          quick_params={"k_values": (0, 2, 5), "capacity": 256},
+          kernels=("gram",))
 def run(context: ExperimentContext, *, k_values: Sequence[int] = DEFAULT_K_SWEEP,
         capacity: int | None = None, target: float = 0.10,
         seed: int = 5) -> Fig12Result:

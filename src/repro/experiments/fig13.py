@@ -49,7 +49,7 @@ class Fig13Result:
 
 @register(name="fig13", artifact="Fig. 13",
           title="occupancy distributions for one workload",
-          quick_params={"buffer_capacity": 512})
+          quick_params={"buffer_capacity": 512}, kernels=("gram",))
 def run(context: ExperimentContext, *, workload: str = "amazon0312",
         buffer_capacity: int = 8192, target: float = 0.10,
         num_cdf_points: int = 16) -> Fig13Result:

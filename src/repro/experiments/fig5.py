@@ -50,7 +50,8 @@ class Fig5Result:
 
 
 @register(name="fig5", artifact="Fig. 3/5", required_suite="none",
-          title="buffet vs. Tailors management of an overbooked tile")
+          title="buffet vs. Tailors management of an overbooked tile",
+          kernels=())
 def run(*, capacity: int = 4, fifo_region: int = 2,
         tile_occupancy: int = 20, num_passes: int = 3) -> Fig5Result:
     """Reproduce the Fig. 5 trace and a Fig. 3-style reuse comparison."""

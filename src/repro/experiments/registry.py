@@ -45,7 +45,7 @@ import numpy as np
 #: The experiment modules, in the paper's artifact order.  ``discover``
 #: imports them; each registers itself via the decorator below.
 EXPERIMENT_MODULES = (
-    "table1", "table2",
+    "table1", "table2", "table3",
     "fig1", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig11", "fig12", "fig13",
 )
@@ -98,11 +98,27 @@ class Experiment:
     required_suite: str = "any"
     needs_reports: bool = False
     quick_params: Mapping[str, Any] = field(default_factory=dict)
+    #: Which kernels the experiment applies to: ``("any",)`` for experiments
+    #: that consume per-variant reports (they follow the context's kernel
+    #: axis), ``("gram",)`` for ones that model the Gram kernel's occupancy
+    #: structure directly, the full family tuple for cross-kernel tables
+    #: (table3 evaluates every kernel regardless of the context's), ``()``
+    #: for self-contained experiments.
+    kernels: tuple = ("any",)
 
     @property
     def needs_context(self) -> bool:
         """Whether ``run`` takes an :class:`ExperimentContext`."""
         return self.required_suite != "none"
+
+    @property
+    def kernel_axis(self) -> str:
+        """Human-readable kernel applicability (the ``list`` column)."""
+        if not self.kernels:
+            return "-"
+        if len(self.kernels) > 1:
+            return "all"
+        return self.kernels[0]
 
     def run(self, context=None, **params) -> Any:
         """Run the experiment (``context`` is ignored when not needed)."""
@@ -158,7 +174,8 @@ class Experiment:
 
 def register(*, name: str, artifact: str, title: str,
              required_suite: str = "any", needs_reports: bool = False,
-             quick_params: Optional[Mapping[str, Any]] = None):
+             quick_params: Optional[Mapping[str, Any]] = None,
+             kernels: tuple = ("any",)):
     """Class the decorated ``run`` function as the experiment ``name``."""
     if required_suite not in ("any", "none"):
         raise ValueError(f"required_suite must be 'any' or 'none', "
@@ -177,6 +194,7 @@ def register(*, name: str, artifact: str, title: str,
             required_suite=required_suite,
             needs_reports=needs_reports,
             quick_params=dict(quick_params or {}),
+            kernels=tuple(kernels),
         )
         return func
 

@@ -15,11 +15,13 @@ from repro.accelerator.extensor import (
 )
 from repro.model.stats import PerformanceReport
 from repro.model.workload import WorkloadDescriptor
+from repro.tensor.kernels import kernel_spec
 from repro.tensor.sparse import SparseMatrix
 from repro.tensor.suite import WorkloadSuite, default_suite, small_suite
 
 #: Process-wide report memo for canonical suites.  A report is a deterministic
-#: function of (suite identity, architecture, overbooking target, workload),
+#: function of (suite identity, architecture, overbooking target, kernel,
+#: workload),
 #: and :class:`~repro.model.stats.PerformanceReport` is immutable, so contexts
 #: over the same canonical suite share evaluations — a fresh
 #: ``ExperimentContext.full()`` does not re-run the engine for workloads an
@@ -56,8 +58,9 @@ def memoized_reports(memo_key: tuple) -> Optional[Dict[str, PerformanceReport]]:
     """The process-wide memo entry for ``memo_key``, or ``None`` if cold.
 
     The key layout is ``(suite token, architecture, overbooking target,
-    workload)`` — what :meth:`ExperimentContext.memo_key` produces.  Used by
-    the parallel scheduler to split a batch into warm and cold requests.
+    kernel, workload)`` — what :meth:`ExperimentContext.memo_key` produces.
+    Used by the parallel scheduler to split a batch into warm and cold
+    requests.
     """
     return _REPORT_MEMO.get(memo_key)
 
@@ -86,14 +89,23 @@ class ExperimentContext:
     overbooking_target:
         The ``y`` used by the ExTensor-OB variant (default 10%, as in the
         paper's headline results).
+    kernel:
+        Which kernel of the family the context evaluates (default ``"gram"``,
+        the paper's ``A × Aᵀ``; see :mod:`repro.tensor.kernels` for the
+        others).  The suite provides the primary matrix per workload; the
+        kernel decides what is built on top of it.
     """
 
     suite: WorkloadSuite = field(default_factory=default_suite)
     architecture: ArchitectureConfig = field(default_factory=scaled_default_config)
     overbooking_target: float = 0.10
+    kernel: str = "gram"
     _model: Optional[ExTensorModel] = field(default=None, repr=False)
     _workloads: Dict[str, WorkloadDescriptor] = field(default_factory=dict, repr=False)
     _reports: Dict[str, Dict[str, PerformanceReport]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        kernel_spec(self.kernel)  # fail fast on unknown kernels
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -130,6 +142,21 @@ class ExperimentContext:
             suite=self.suite,
             architecture=self.architecture,
             overbooking_target=float(overbooking_target),
+            kernel=self.kernel,
+        )
+
+    def with_kernel(self, kernel: str) -> "ExperimentContext":
+        """A context over the same suite/architecture evaluating ``kernel``.
+
+        Shares this context's suite instance, so the primary matrices (and
+        their tiling caches) are reused across kernels; only the kernel's own
+        operands and evaluations are new.
+        """
+        return ExperimentContext(
+            suite=self.suite,
+            architecture=self.architecture,
+            overbooking_target=self.overbooking_target,
+            kernel=str(kernel),
         )
 
     # ------------------------------------------------------------------ #
@@ -157,9 +184,15 @@ class ExperimentContext:
         return self.suite.matrix(name)
 
     def workload(self, name: str) -> WorkloadDescriptor:
-        """The (cached) ``A × Aᵀ`` workload descriptor for ``name``."""
+        """The (cached) workload descriptor for ``name`` under this kernel.
+
+        ``kernel="gram"`` (the default) builds the paper's ``A × Aᵀ`` exactly
+        as before; other kernels resolve their extra operands (paired sparse
+        matrices, deterministic dense factors) from the suite.
+        """
         if name not in self._workloads:
-            self._workloads[name] = WorkloadDescriptor.gram(self.matrix(name), name=name)
+            self._workloads[name] = WorkloadDescriptor.from_suite(
+                self.suite, name, kernel=self.kernel)
         return self._workloads[name]
 
     @property
@@ -172,11 +205,17 @@ class ExperimentContext:
         return self.suite.cache_token
 
     def memo_key(self, name: str):
-        """Process-wide memo key for workload ``name`` (``None`` = unshared)."""
+        """Process-wide memo key for workload ``name`` (``None`` = unshared).
+
+        Layout: ``(suite token, architecture, overbooking target, kernel,
+        workload)`` — mirrored by
+        :attr:`repro.experiments.scheduler.EvaluationRequest.memo_key`.
+        """
         suite_token = self.suite_token
         if suite_token is None:
             return None
-        return (suite_token, self.architecture, self.overbooking_target, name)
+        return (suite_token, self.architecture, self.overbooking_target,
+                self.kernel, name)
 
     # Backwards-compatible alias (pre-scheduler internal name).
     _memo_key = memo_key

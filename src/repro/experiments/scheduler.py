@@ -2,8 +2,8 @@
 
 Every figure/table experiment ultimately consumes per-variant
 :class:`~repro.model.stats.PerformanceReport`s keyed by ``(suite,
-architecture, overbooking target, workload)``.  The scheduler turns that into
-a batch problem:
+architecture, overbooking target, kernel, workload)``.  The scheduler turns
+that into a batch problem:
 
 1. **Batch** — union the :class:`EvaluationRequest`s of all selected
    experiments (and sweep grid points) up front.
@@ -47,19 +47,21 @@ class EvaluationRequest:
     """One unit of schedulable work: evaluate a workload on every variant.
 
     ``suite_token`` is the picklable identity of a canonical suite (see
-    :attr:`repro.tensor.suite.WorkloadSuite.cache_token`); the other fields
-    mirror the report-memo key, which is what makes deduplication exact.
+    :attr:`repro.tensor.suite.WorkloadSuite.cache_token`); the other fields —
+    including the ``kernel`` axis — mirror the report-memo key, which is what
+    makes deduplication exact.
     """
 
     suite_token: tuple
     architecture: ArchitectureConfig
     overbooking_target: float
     workload: str
+    kernel: str = "gram"
 
     @property
     def memo_key(self) -> tuple:
         return (self.suite_token, self.architecture,
-                self.overbooking_target, self.workload)
+                self.overbooking_target, self.kernel, self.workload)
 
 
 @dataclass(frozen=True)
@@ -75,13 +77,16 @@ class ScheduleStats:
 
 def requests_for_context(
         context: ExperimentContext,
-        targets: Optional[Iterable[Tuple[float, str]]] = None,
+        targets: Optional[Iterable[tuple]] = None,
 ) -> List[EvaluationRequest]:
-    """Requests covering ``targets`` (``(y, workload)`` pairs) of a context.
+    """Requests covering ``targets`` of a context.
 
-    ``targets`` defaults to every suite workload at the context's overbooking
-    target.  Returns ``[]`` for custom suites (no token — nothing to ship to
-    a worker; such contexts evaluate serially as before).
+    Each target is a ``(y, workload)`` pair — evaluated under the context's
+    kernel — or a ``(y, workload, kernel)`` triple for experiments that sweep
+    the kernel axis (e.g. the cross-kernel Table 3).  ``targets`` defaults to
+    every suite workload at the context's overbooking target and kernel.
+    Returns ``[]`` for custom suites (no token — nothing to ship to a worker;
+    such contexts evaluate serially as before).
     """
     token = context.suite_token
     if token is None:
@@ -89,15 +94,18 @@ def requests_for_context(
     if targets is None:
         targets = [(context.overbooking_target, name)
                    for name in context.workload_names]
-    return [
-        EvaluationRequest(
+    requests = []
+    for target in targets:
+        y, name = target[0], target[1]
+        kernel = target[2] if len(target) > 2 else context.kernel
+        requests.append(EvaluationRequest(
             suite_token=token,
             architecture=context.architecture,
             overbooking_target=float(y),
             workload=str(name),
-        )
-        for y, name in targets
-    ]
+            kernel=str(kernel),
+        ))
+    return requests
 
 
 # --------------------------------------------------------------------- #
@@ -122,7 +130,8 @@ def clear_worker_caches() -> None:
 
 
 def _worker_context(request: EvaluationRequest) -> ExperimentContext:
-    key = (request.suite_token, request.architecture, request.overbooking_target)
+    key = (request.suite_token, request.architecture,
+           request.overbooking_target, request.kernel)
     context = _WORKER_CONTEXTS.get(key)
     if context is None:
         suite = _WORKER_SUITES.get(request.suite_token)
@@ -133,6 +142,7 @@ def _worker_context(request: EvaluationRequest) -> ExperimentContext:
             suite=suite,
             architecture=request.architecture,
             overbooking_target=request.overbooking_target,
+            kernel=request.kernel,
         )
         _WORKER_CONTEXTS[key] = context
     return context
@@ -195,7 +205,7 @@ class EvaluationScheduler:
                 if memoized_reports(key) is None]
         # Group same-workload requests (which share tilings at equal
         # capacities) so chunking keeps them on one worker.
-        cold.sort(key=lambda r: (r.workload, r.overbooking_target))
+        cold.sort(key=lambda r: (r.workload, r.kernel, r.overbooking_target))
 
         workers = min(self.max_workers, len(cold))
         if workers <= 1 or len(cold) < self.min_parallel_requests:

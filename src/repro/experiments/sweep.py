@@ -1,8 +1,9 @@
 """Parameter-sweep runner: grids over ``y`` and buffer scaling, scheduled.
 
 The ROADMAP's scenario sweeps (overbooking target, GLB/PE capacity scaling,
-suite subsets) all reduce to evaluating the same suite under a grid of
-``(architecture, overbooking_target)`` configurations.  :func:`sweep_grid`
+kernels, suite subsets) all reduce to evaluating the same suite under a grid
+of ``(architecture, overbooking_target, kernel)`` configurations.
+:func:`sweep_grid`
 builds one :class:`~repro.experiments.runner.ExperimentContext` per grid
 point, batches *all* their evaluation requests through the
 :class:`~repro.experiments.scheduler.EvaluationScheduler` (one fan-out for
@@ -47,10 +48,11 @@ class SweepPoint:
     pe_scale: float
     glb_capacity_words: int
     pe_buffer_capacity_words: int
+    kernel: str = "gram"
 
     @property
     def label(self) -> str:
-        return (f"y={self.overbooking_target:.0%} "
+        return (f"{self.kernel} y={self.overbooking_target:.0%} "
                 f"glb×{self.glb_scale:g} pe×{self.pe_scale:g}")
 
 
@@ -61,6 +63,7 @@ class SweepRow:
     overbooking_target: float
     glb_scale: float
     pe_scale: float
+    kernel: str
     workload: str
     naive_cycles: float
     prescient_cycles: float
@@ -96,7 +99,7 @@ class SweepSummary:
 
 #: Column order of :meth:`SweepResult.write_csv`.
 _CSV_COLUMNS = (
-    "overbooking_target", "glb_scale", "pe_scale", "workload",
+    "overbooking_target", "glb_scale", "pe_scale", "kernel", "workload",
     "naive_cycles", "prescient_cycles", "overbooking_cycles",
     "speedup_ob_vs_naive", "speedup_ob_vs_prescient",
     "naive_energy_pj", "prescient_energy_pj", "overbooking_energy_pj",
@@ -117,14 +120,16 @@ class SweepResult:
     schedule: ScheduleStats
 
     def summary_at(self, y: float, *, glb_scale: float = 1.0,
-                   pe_scale: float = 1.0) -> SweepSummary:
+                   pe_scale: float = 1.0, kernel: str = "gram") -> SweepSummary:
         for summary in self.summaries:
             point = summary.point
             if (abs(point.overbooking_target - y) < 1e-9
                     and abs(point.glb_scale - glb_scale) < 1e-9
-                    and abs(point.pe_scale - pe_scale) < 1e-9):
+                    and abs(point.pe_scale - pe_scale) < 1e-9
+                    and point.kernel == kernel):
                 return summary
-        raise KeyError(f"no sweep point y={y} glb×{glb_scale} pe×{pe_scale}")
+        raise KeyError(f"no sweep point kernel={kernel} y={y} "
+                       f"glb×{glb_scale} pe×{pe_scale}")
 
     def to_jsonable(self) -> dict:
         return to_jsonable(self)
@@ -159,18 +164,23 @@ def sweep_grid(suite: WorkloadSuite, *,
                y_values: Sequence[float] = DEFAULT_Y_VALUES,
                glb_scales: Sequence[float] = (1.0,),
                pe_scales: Sequence[float] = (1.0,),
+               kernels: Sequence[str] = ("gram",),
                base_architecture: Optional[ArchitectureConfig] = None,
                workloads: Optional[Sequence[str]] = None,
                scheduler: Optional[EvaluationScheduler] = None,
                max_workers: Optional[int] = None) -> SweepResult:
-    """Evaluate the full ``glb × pe × y`` grid over ``suite``.
+    """Evaluate the full ``kernel × glb × pe × y`` grid over ``suite``.
 
-    ``workloads`` restricts the sweep to a subset of the suite.  All grid
-    points are batched through one scheduler prefetch; pass ``max_workers=1``
-    (or a pre-configured ``scheduler``) to force serial evaluation.
+    ``workloads`` restricts the sweep to a subset of the suite; ``kernels``
+    adds a kernel dimension to the grid (default: the paper's Gram kernel
+    only).  All grid points are batched through one scheduler prefetch; pass
+    ``max_workers=1`` (or a pre-configured ``scheduler``) to force serial
+    evaluation.
     """
     if not y_values:
         raise ValueError("y_values must not be empty")
+    if not kernels:
+        raise ValueError("kernels must not be empty")
     base = base_architecture or scaled_default_config()
     if workloads is not None:
         suite = suite.subset(list(workloads))
@@ -179,21 +189,23 @@ def sweep_grid(suite: WorkloadSuite, *,
 
     contexts: List[ExperimentContext] = []
     points: List[SweepPoint] = []
-    for glb_scale in glb_scales:
-        for pe_scale in pe_scales:
-            architecture = _scaled_architecture(base, float(glb_scale),
-                                                float(pe_scale))
-            for y in y_values:
-                contexts.append(ExperimentContext(
-                    suite=suite, architecture=architecture,
-                    overbooking_target=float(y)))
-                points.append(SweepPoint(
-                    overbooking_target=float(y),
-                    glb_scale=float(glb_scale),
-                    pe_scale=float(pe_scale),
-                    glb_capacity_words=architecture.glb_capacity_words,
-                    pe_buffer_capacity_words=architecture.pe_buffer_capacity_words,
-                ))
+    for kernel in kernels:
+        for glb_scale in glb_scales:
+            for pe_scale in pe_scales:
+                architecture = _scaled_architecture(base, float(glb_scale),
+                                                    float(pe_scale))
+                for y in y_values:
+                    contexts.append(ExperimentContext(
+                        suite=suite, architecture=architecture,
+                        overbooking_target=float(y), kernel=str(kernel)))
+                    points.append(SweepPoint(
+                        overbooking_target=float(y),
+                        glb_scale=float(glb_scale),
+                        pe_scale=float(pe_scale),
+                        glb_capacity_words=architecture.glb_capacity_words,
+                        pe_buffer_capacity_words=architecture.pe_buffer_capacity_words,
+                        kernel=str(kernel),
+                    ))
 
     requests = []
     for context in contexts:
@@ -213,6 +225,7 @@ def sweep_grid(suite: WorkloadSuite, *,
                 overbooking_target=point.overbooking_target,
                 glb_scale=point.glb_scale,
                 pe_scale=point.pe_scale,
+                kernel=point.kernel,
                 workload=name,
                 naive_cycles=naive.cycles,
                 prescient_cycles=prescient.cycles,

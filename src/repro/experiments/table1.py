@@ -55,7 +55,8 @@ def _qualitative(value: float, thresholds: List[float], labels: List[str]) -> st
 
 
 @register(name="table1", artifact="Table 1",
-          title="tiling strategies: utilization vs. tiling tax")
+          title="tiling strategies: utilization vs. tiling tax",
+          kernels=("gram",))
 def run(context: ExperimentContext) -> Table1Result:
     """Measure utilization and tax of the four strategies over the suite."""
     capacity = context.architecture.glb_capacity_words

@@ -42,7 +42,7 @@ class Table2Result:
 
 
 @register(name="table2", artifact="Table 2",
-          title="workload characteristics")
+          title="workload characteristics", kernels=("gram",))
 def run(context: ExperimentContext) -> Table2Result:
     """Collect the workload characteristics of every suite entry."""
     rows = []

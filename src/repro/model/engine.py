@@ -117,7 +117,16 @@ class AnalyticalEngine:
     # Main entry point
     # ------------------------------------------------------------------ #
     def evaluate(self, workload: WorkloadDescriptor, variant: VariantSpec) -> PerformanceReport:
-        """Evaluate one workload under one accelerator variant."""
+        """Evaluate one workload under one accelerator variant.
+
+        The equations are kernel-agnostic: ``workload.a`` is whatever the
+        kernel declares stationary (tiled in row blocks, possibly overbooked)
+        and ``workload.b`` is its streaming operand — ``Aᵀ`` for the paper's
+        Gram kernel, a distinct sparse matrix for general SpMSpM, or a
+        fully-dense factor for SpMM/SpMV/SDDMM.  Shapes, densities and the
+        per-tile occupancy statistics all come from the actual operands, so
+        nothing below assumes a square ``A × Aᵀ``.
+        """
         arch = self.architecture
         a = workload.a
         b = workload.b
@@ -270,4 +279,5 @@ class AnalyticalEngine:
             tiling_tax_elements=tax,
             bound=bound,
             details=details,
+            kernel=workload.kernel,
         )

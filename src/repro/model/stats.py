@@ -62,6 +62,8 @@ class PerformanceReport:
     bound: str
     #: Free-form extras (per-level details, Swiftiles estimate, ...).
     details: Dict[str, float] = field(default_factory=dict)
+    #: Kernel the workload instantiates ("gram", "spmspm", "spmm", ...).
+    kernel: str = "gram"
 
     @property
     def runtime_cycles(self) -> float:

@@ -10,10 +10,12 @@ about sparse tensors:
   representation traversed by the ExTensor address generators.
 * :mod:`repro.tensor.einsum` — Einsum workload descriptions and operation
   counting for SpMSpM.
+* :mod:`repro.tensor.kernels` — the pluggable kernel family (general SpMSpM,
+  SpMM, SpMV, SDDMM) behind the workload layer.
 * :mod:`repro.tensor.generators` — synthetic sparse matrix generators that
   mimic the SuiteSparse matrix classes used in the paper's evaluation.
 * :mod:`repro.tensor.suite` — the 22-workload synthetic evaluation suite
-  mirroring Table 2 of the paper.
+  mirroring Table 2 of the paper, plus MatrixMarket corpus suites.
 * :mod:`repro.tensor.io` — MatrixMarket-style persistence.
 """
 
@@ -21,6 +23,14 @@ from repro.tensor.coords import Shape, Point, Range
 from repro.tensor.sparse import SparseMatrix
 from repro.tensor.formats import CompressedSparseFiber, Fiber
 from repro.tensor.einsum import EinsumSpec, MatmulWorkload, count_spmspm_operations
+from repro.tensor.kernels import (
+    KERNELS,
+    SDDMMWorkload,
+    SpMMWorkload,
+    SpMVWorkload,
+    build_kernel_workload,
+    kernel_names,
+)
 from repro.tensor.generators import (
     banded_matrix,
     block_diagonal_matrix,
@@ -29,7 +39,7 @@ from repro.tensor.generators import (
     road_network_matrix,
     uniform_random_matrix,
 )
-from repro.tensor.suite import WorkloadSpec, WorkloadSuite, default_suite
+from repro.tensor.suite import WorkloadSpec, WorkloadSuite, corpus_suite, default_suite
 
 __all__ = [
     "Shape",
@@ -41,6 +51,12 @@ __all__ = [
     "EinsumSpec",
     "MatmulWorkload",
     "count_spmspm_operations",
+    "KERNELS",
+    "SDDMMWorkload",
+    "SpMMWorkload",
+    "SpMVWorkload",
+    "build_kernel_workload",
+    "kernel_names",
     "banded_matrix",
     "block_diagonal_matrix",
     "erdos_renyi_matrix",
@@ -49,5 +65,6 @@ __all__ = [
     "uniform_random_matrix",
     "WorkloadSpec",
     "WorkloadSuite",
+    "corpus_suite",
     "default_suite",
 ]

@@ -224,12 +224,25 @@ def count_spmspm_operations(a: SparseMatrix, b: SparseMatrix) -> OperationCounts
 class MatmulWorkload:
     """A concrete SpMSpM workload: ``Z = A @ B`` with both operands sparse.
 
-    The paper evaluates ``A × Aᵀ``; :meth:`gram` builds that case.
+    The paper evaluates ``A × Aᵀ``; :meth:`gram` builds that case.  As part of
+    the kernel family (see :mod:`repro.tensor.kernels`) the workload exposes
+    the uniform ``kernel`` / ``stationary_operand`` / ``streaming_operand`` /
+    ``reference_dense`` surface the model layer consumes; ``A`` is the tiled
+    stationary operand and ``B`` streams.
     """
 
     a: SparseMatrix
     b: SparseMatrix
     name: str = "matmul"
+
+    @property
+    def kernel(self) -> str:
+        """Kernel-family name: ``"gram"`` when ``B`` is ``A``'s transpose.
+
+        Gram workloads share ``A``'s cached transpose instance (see
+        :meth:`gram`), so the identity check is exact and free.
+        """
+        return "gram" if self.b is self.a.transpose() else "spmspm"
 
     def __post_init__(self) -> None:
         if self.a.num_cols != self.b.num_rows:
@@ -260,6 +273,16 @@ class MatmulWorkload:
     def n(self) -> int:
         return self.b.num_cols
 
+    @property
+    def stationary_operand(self) -> SparseMatrix:
+        """The operand tiled in row blocks by the dataflow (``A``)."""
+        return self.a
+
+    @property
+    def streaming_operand(self) -> SparseMatrix:
+        """The operand streamed once per stationary tile (``B``)."""
+        return self.b
+
     def operation_counts(self) -> OperationCounts:
         """Exact effectual work of the workload."""
         return count_spmspm_operations(self.a, self.b)
@@ -267,3 +290,7 @@ class MatmulWorkload:
     def reference_result(self) -> SparseMatrix:
         """Functional ground truth computed with SciPy."""
         return self.a.matmul(self.b)
+
+    def reference_dense(self) -> np.ndarray:
+        """Dense NumPy reference result (kernel-family validation surface)."""
+        return self.a.to_dense() @ self.b.to_dense()

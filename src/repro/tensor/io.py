@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import IO, Iterable, Union
+from typing import IO, Iterable, Tuple, Union
 
 import numpy as np
 
@@ -59,6 +59,46 @@ def write_matrix_market(matrix: SparseMatrix, path: PathLike,
                 handle.write(f"{r + 1} {c + 1} {v:.17g}\n")
 
 
+def matrix_market_header(path: PathLike) -> Tuple[int, int, int, bool]:
+    """Read only the banner and size line of a MatrixMarket file.
+
+    Returns ``(rows, cols, stored_entries, symmetric)``.  ``stored_entries``
+    is the entry count of the *file*; for ``symmetric`` files the loaded
+    matrix mirrors off-diagonal entries, so its ``nnz`` is larger (up to 2×).
+    Used by the workload-suite corpus path to populate spec metadata without
+    parsing the entries (the matrix itself is loaded lazily on first use).
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        header = handle.readline()
+        if not header.lower().startswith("%%matrixmarket"):
+            raise ValueError(f"{path} is not a MatrixMarket file")
+        symmetric = "symmetric" in header.lower().split()
+        line = handle.readline()
+        while line.startswith("%"):
+            line = handle.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise ValueError(f"malformed size line: {line!r}")
+        num_rows, num_cols, entries = (int(x) for x in dims)
+    return num_rows, num_cols, entries, symmetric
+
+
+def matrix_market_dimensions(path: PathLike) -> Tuple[int, int, int]:
+    """Read only the size line of a MatrixMarket file: ``(rows, cols, nnz)``.
+
+    ``nnz`` is the stored entry count; see :func:`matrix_market_header` for
+    the symmetry-aware variant.
+    """
+    num_rows, num_cols, entries, _ = matrix_market_header(path)
+    return num_rows, num_cols, entries
+
+
+def matrix_market_name(path: PathLike) -> str:
+    """The default workload name for a MatrixMarket file (filename stem)."""
+    return Path(path).name.replace(".mtx", "").replace(".gz", "")
+
+
 def read_matrix_market(path: PathLike, name: str | None = None) -> SparseMatrix:
     """Read a MatrixMarket coordinate file into a :class:`SparseMatrix`.
 
@@ -101,7 +141,7 @@ def read_matrix_market(path: PathLike, name: str | None = None) -> SparseMatrix:
         cols = np.concatenate([cols, rows[: nnz][off_diagonal]])
         values = np.concatenate([values, values[off_diagonal]])
 
-    matrix_name = name or path.name.replace(".mtx", "").replace(".gz", "")
+    matrix_name = name or matrix_market_name(path)
     return SparseMatrix.from_coo(rows, cols, values, (num_rows, num_cols), name=matrix_name)
 
 

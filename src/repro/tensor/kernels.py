@@ -1,0 +1,409 @@
+"""The pluggable kernel family: SpMSpM, SpMM, SpMV and SDDMM workloads.
+
+The paper evaluates a single kernel — the Gram SpMSpM ``A × Aᵀ`` — but the
+overbooking/Tailors traffic model only needs a *stationary* operand (tiled in
+row blocks, possibly overbooking its buffer) and a *streaming* operand (scanned
+once per stationary tile).  This module generalizes the workload layer into a
+small kernel family behind one uniform interface:
+
+* **SpMSpM** — ``Z[m,n] = A[m,k] * B[k,n]`` with two distinct sparse operands
+  (:class:`~repro.tensor.einsum.MatmulWorkload`; the Gram case ``B = Aᵀ`` is
+  its :meth:`~repro.tensor.einsum.MatmulWorkload.gram` constructor).
+* **SpMM** — sparse × dense: ``A`` sparse, ``B`` a dense ``k × f`` factor
+  (:class:`SpMMWorkload`), the shape of graph-neural-network aggregation.
+* **SpMV** — sparse matrix × dense vector (:class:`SpMVWorkload`), the
+  iterative-solver / PageRank primitive.
+* **SDDMM** — sampled dense-dense matmul ``Z = S ⊙ (D₁ @ D₂)``
+  (:class:`SDDMMWorkload`), the attention / factorization primitive whose
+  output pattern is the sparse sampler ``S``.
+
+Every workload exposes the same surface the model layer consumes:
+
+``kernel``
+    Kernel-family name (``"spmspm"``, ``"spmm"``, ``"spmv"``, ``"sddmm"``).
+``einsum``
+    The :class:`~repro.tensor.einsum.EinsumSpec` it instantiates.
+``stationary_operand`` / ``streaming_operand``
+    The two tiled operands of the stationary/streaming dataflow.  Dense
+    operands are represented as fully-dense :class:`SparseMatrix` instances so
+    the per-tile occupancy machinery applies unchanged (a dense tile's
+    occupancy is simply its area).
+``operation_counts()``
+    Exact effectual multiplies, *symbolic* output occupancy (no product is
+    materialized) and the dense-engine work, as :class:`OperationCounts`.
+``reference_dense()``
+    A dense NumPy reference result used to validate the counts and semantics.
+
+:data:`KERNELS` is the registry the suite/model/experiment layers use to
+resolve kernels by name; :func:`build_kernel_workload` is the one constructor
+the pipeline calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.tensor.einsum import (
+    EinsumSpec,
+    MatmulWorkload,
+    OperationCounts,
+)
+from repro.tensor.sparse import SparseMatrix
+
+#: Default inner rank of the dense factors of SpMM / SDDMM workloads.
+DEFAULT_FEATURE_DIM = 32
+
+#: The einsums of the new kernels (parsed once; ``spmv``/``sddmm`` are
+#: deliberately *not* plain matmuls and are exercised by the EinsumSpec tests).
+SPMM_EINSUM = EinsumSpec.parse("Z[m,f] = A[m,k] * B[k,f]")
+SPMV_EINSUM = EinsumSpec.parse("z[m] = A[m,k] * x[k]")
+SDDMM_EINSUM = EinsumSpec.parse("Z[m,n] = S[m,n] * P[m,n]")
+
+
+@runtime_checkable
+class KernelWorkload(Protocol):
+    """Structural type every kernel workload satisfies (see module docstring)."""
+
+    name: str
+
+    @property
+    def kernel(self) -> str: ...
+
+    @property
+    def einsum(self) -> EinsumSpec: ...
+
+    @property
+    def stationary_operand(self) -> SparseMatrix: ...
+
+    @property
+    def streaming_operand(self) -> SparseMatrix: ...
+
+    def operation_counts(self) -> OperationCounts: ...
+
+    def reference_dense(self) -> np.ndarray: ...
+
+
+def dense_operand(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """A deterministic dense factor with no zero entries.
+
+    Values are drawn uniformly from ``[0.5, 1.5)`` so that a "dense" operand
+    really is fully occupied once wrapped in a :class:`SparseMatrix` (zeros
+    would be eliminated) and dot products of positive values cannot cancel,
+    keeping the symbolic output-occupancy counts exact.
+    """
+    return rng.uniform(0.5, 1.5, size=(rows, cols))
+
+
+def _nonzero_row_count(matrix: SparseMatrix) -> int:
+    """Rows of ``matrix`` holding at least one nonzero (symbolic, O(rows))."""
+    return int(np.count_nonzero(matrix.row_occupancies()))
+
+
+class SpMMWorkload:
+    """Sparse × dense: ``Z[m,f] = A[m,k] * B[k,f]`` with a dense factor ``B``.
+
+    Operation counting is exact and symbolic: every stored nonzero of ``A``
+    meets every one of the ``f`` columns of ``B`` exactly once, and an output
+    row is nonzero iff the corresponding row of ``A`` is (positive dense
+    values cannot cancel).
+    """
+
+    kernel = "spmm"
+
+    def __init__(self, a: SparseMatrix, b_dense: np.ndarray,
+                 name: str | None = None):
+        b_dense = np.asarray(b_dense, dtype=np.float64)
+        if b_dense.ndim != 2:
+            raise ValueError(f"B must be a 2-D dense factor, got shape "
+                             f"{b_dense.shape}")
+        if a.num_cols != b_dense.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {a.num_cols} vs "
+                f"{b_dense.shape[0]}")
+        self.a = a
+        self.b_dense = b_dense
+        self.name = name or f"{a.name} x dense[{b_dense.shape[1]}]"
+        self._streaming: Optional[SparseMatrix] = None
+
+    @property
+    def einsum(self) -> EinsumSpec:
+        return SPMM_EINSUM
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.b_dense.shape[1])
+
+    @property
+    def stationary_operand(self) -> SparseMatrix:
+        return self.a
+
+    @property
+    def streaming_operand(self) -> SparseMatrix:
+        if self._streaming is None:
+            self._streaming = SparseMatrix.from_dense(
+                self.b_dense, name=f"{self.name}.B")
+        return self._streaming
+
+    def operation_counts(self) -> OperationCounts:
+        f = self.feature_dim
+        return OperationCounts(
+            effectual_multiplies=self.a.nnz * f,
+            output_nonzeros=_nonzero_row_count(self.a) * f,
+            dense_multiplies=self.a.num_rows * self.a.num_cols * f,
+        )
+
+    def reference_dense(self) -> np.ndarray:
+        return self.a.to_dense() @ self.b_dense
+
+
+class SpMVWorkload:
+    """Sparse matrix × dense vector: ``z[m] = A[m,k] * x[k]``.
+
+    The degenerate SpMM (``f = 1``): one effectual multiply per stored nonzero
+    of ``A``, one output element per nonzero row.
+    """
+
+    kernel = "spmv"
+
+    def __init__(self, a: SparseMatrix, x: np.ndarray, name: str | None = None):
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if a.num_cols != x.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {a.num_cols} vs {x.shape[0]}")
+        self.a = a
+        self.x = x
+        self.name = name or f"{a.name} x vector"
+        self._streaming: Optional[SparseMatrix] = None
+
+    @property
+    def einsum(self) -> EinsumSpec:
+        return SPMV_EINSUM
+
+    @property
+    def stationary_operand(self) -> SparseMatrix:
+        return self.a
+
+    @property
+    def streaming_operand(self) -> SparseMatrix:
+        if self._streaming is None:
+            self._streaming = SparseMatrix.from_dense(
+                self.x.reshape(-1, 1), name=f"{self.name}.x")
+        return self._streaming
+
+    def operation_counts(self) -> OperationCounts:
+        return OperationCounts(
+            effectual_multiplies=self.a.nnz,
+            output_nonzeros=_nonzero_row_count(self.a),
+            dense_multiplies=self.a.num_rows * self.a.num_cols,
+        )
+
+    def reference_dense(self) -> np.ndarray:
+        return self.a.to_dense() @ self.x
+
+
+class SDDMMWorkload:
+    """Sampled dense-dense matmul: ``Z = S ⊙ (D₁ @ D₂)``.
+
+    ``S`` (sparse, ``m × n``) samples the dense product of ``D₁`` (``m × f``)
+    and ``D₂`` (``f × n``): every stored nonzero of ``S`` requires one
+    ``f``-long dot product plus the sampling scale, so the effectual work is
+    ``nnz(S) · (f + 1)`` multiplies and the output pattern is exactly ``S``'s.
+    For the traffic model the sampler ``S`` is the stationary (tiled) operand
+    and the dense factor ``D₂`` streams; ``D₁`` rows ride along with their
+    ``S`` row tiles.
+    """
+
+    kernel = "sddmm"
+
+    def __init__(self, s: SparseMatrix, d1: np.ndarray, d2: np.ndarray,
+                 name: str | None = None):
+        d1 = np.asarray(d1, dtype=np.float64)
+        d2 = np.asarray(d2, dtype=np.float64)
+        if d1.ndim != 2 or d2.ndim != 2:
+            raise ValueError("D1 and D2 must be 2-D dense factors")
+        if d1.shape[1] != d2.shape[0]:
+            raise ValueError(
+                f"inner dimensions do not match: {d1.shape[1]} vs {d2.shape[0]}")
+        if (s.num_rows, s.num_cols) != (d1.shape[0], d2.shape[1]):
+            raise ValueError(
+                f"sampler shape {s.csr.shape} does not match dense product "
+                f"shape {(d1.shape[0], d2.shape[1])}")
+        self.s = s
+        self.d1 = d1
+        self.d2 = d2
+        self.name = name or f"{s.name} sddmm[{d1.shape[1]}]"
+        self._streaming: Optional[SparseMatrix] = None
+
+    @property
+    def einsum(self) -> EinsumSpec:
+        return SDDMM_EINSUM
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.d1.shape[1])
+
+    @property
+    def stationary_operand(self) -> SparseMatrix:
+        return self.s
+
+    @property
+    def streaming_operand(self) -> SparseMatrix:
+        if self._streaming is None:
+            self._streaming = SparseMatrix.from_dense(
+                self.d2, name=f"{self.name}.D2")
+        return self._streaming
+
+    def operation_counts(self) -> OperationCounts:
+        f = self.feature_dim
+        m, n = self.s.num_rows, self.s.num_cols
+        return OperationCounts(
+            effectual_multiplies=self.s.nnz * (f + 1),
+            output_nonzeros=self.s.nnz,
+            dense_multiplies=m * n * f + m * n,
+        )
+
+    def reference_dense(self) -> np.ndarray:
+        return self.s.to_dense() * (self.d1 @ self.d2)
+
+
+# --------------------------------------------------------------------- #
+# Kernel registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class KernelSpec:
+    """Registry entry describing one kernel of the family.
+
+    Attributes
+    ----------
+    name:
+        Kernel name used across the pipeline (CLI ``--kernel``, memo keys,
+        scheduler requests, sweep grids).
+    einsum:
+        The einsum expression the kernel instantiates.
+    title:
+        One-line description for reports and ``python -m repro list``.
+    needs_paired_operand:
+        Whether the kernel consumes a second *sparse* operand (general
+        SpMSpM); the suite derives it deterministically when the workload
+        spec carries no explicit ``b_builder``.
+    needs_dense_operand:
+        Whether the kernel consumes deterministic dense factors (SpMM / SpMV
+        / SDDMM) and therefore a random stream.
+    stream_salt:
+        Stable per-kernel salt mixed into the dense-operand random stream so
+        different kernels on the same workload draw independent factors.
+        (A literal constant, not ``hash(name)`` — ``hash`` of strings is
+        process-randomized and the streams must match across scheduler
+        workers.)
+    """
+
+    name: str
+    einsum: str
+    title: str
+    needs_paired_operand: bool = False
+    needs_dense_operand: bool = False
+    stream_salt: int = 0
+
+
+#: The kernel family, keyed by name.  ``"gram"`` is the paper's kernel; the
+#: rest are the scenario extensions this refactor unlocks.
+KERNELS: Dict[str, KernelSpec] = {
+    spec.name: spec for spec in (
+        KernelSpec(
+            name="gram",
+            einsum="Z[m,n] = A[m,k] * A^T[k,n]",
+            title="Gram SpMSpM A x A^T (the paper's kernel)",
+        ),
+        KernelSpec(
+            name="spmspm",
+            einsum="Z[m,n] = A[m,k] * B[k,n]",
+            title="general SpMSpM with two distinct sparse operands",
+            needs_paired_operand=True,
+        ),
+        KernelSpec(
+            name="spmm",
+            einsum="Z[m,f] = A[m,k] * B[k,f]",
+            title="SpMM: sparse x dense feature factor",
+            needs_dense_operand=True,
+            stream_salt=101,
+        ),
+        KernelSpec(
+            name="spmv",
+            einsum="z[m] = A[m,k] * x[k]",
+            title="SpMV: sparse matrix x dense vector",
+            needs_dense_operand=True,
+            stream_salt=211,
+        ),
+        KernelSpec(
+            name="sddmm",
+            einsum="Z[m,n] = S[m,n] * (D1 @ D2)[m,n]",
+            title="SDDMM: dense product sampled by the sparse pattern",
+            needs_dense_operand=True,
+            stream_salt=307,
+        ),
+    )
+}
+
+
+def kernel_names() -> Tuple[str, ...]:
+    """The registered kernel names, Gram first."""
+    return tuple(KERNELS)
+
+
+def kernel_spec(name: str) -> KernelSpec:
+    """The :class:`KernelSpec` registered as ``name`` (KeyError with hint)."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; "
+                       f"known: {list(KERNELS)}") from None
+
+
+def build_kernel_workload(kernel: str, matrix: SparseMatrix, *,
+                          name: str | None = None,
+                          paired_matrix: SparseMatrix | None = None,
+                          rng: np.random.Generator | None = None,
+                          feature_dim: int = DEFAULT_FEATURE_DIM):
+    """Instantiate the ``kernel`` workload for ``matrix``.
+
+    Parameters
+    ----------
+    kernel:
+        A name from :data:`KERNELS`.
+    matrix:
+        The primary sparse operand (``A``, or the sampler ``S`` for SDDMM).
+    name:
+        Workload name for reports (defaults to the kernel's own naming).
+    paired_matrix:
+        Second sparse operand, required by ``"spmspm"``.
+    rng:
+        Generator for the deterministic dense factors, required by
+        ``"spmm"`` / ``"spmv"`` / ``"sddmm"``.
+    feature_dim:
+        Inner rank ``f`` of the dense factors of SpMM and SDDMM.
+    """
+    spec = kernel_spec(kernel)
+    if spec.needs_paired_operand and paired_matrix is None:
+        raise ValueError(f"kernel {kernel!r} requires a paired sparse operand")
+    if spec.needs_dense_operand and rng is None:
+        raise ValueError(f"kernel {kernel!r} requires an rng for its dense "
+                         "factors")
+    if kernel == "gram":
+        return MatmulWorkload.gram(matrix, name=name)
+    if kernel == "spmspm":
+        return MatmulWorkload(a=matrix, b=paired_matrix,
+                              name=name or f"{matrix.name} x B")
+    if kernel == "spmm":
+        factor = dense_operand(rng, matrix.num_cols, feature_dim)
+        return SpMMWorkload(matrix, factor, name=name)
+    if kernel == "spmv":
+        vector = dense_operand(rng, matrix.num_cols, 1)
+        return SpMVWorkload(matrix, vector, name=name)
+    if kernel == "sddmm":
+        d1 = dense_operand(rng, matrix.num_rows, feature_dim)
+        d2 = dense_operand(rng, matrix.num_cols, feature_dim).T
+        return SDDMMWorkload(matrix, d1, d2, name=name)
+    raise KeyError(f"unknown kernel {kernel!r}")  # pragma: no cover

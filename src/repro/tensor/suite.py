@@ -21,16 +21,23 @@ quickstart example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.tensor import generators
+from repro.tensor.io import matrix_market_header, matrix_market_name, read_matrix_market
 from repro.tensor.sparse import SparseMatrix
 from repro.utils.rng import RandomState, resolve_rng
 
 #: A builder takes a numpy Generator and produces the workload matrix.
 MatrixBuilder = Callable[[np.random.Generator], SparseMatrix]
+
+#: Stream-index offset of derived paired operands (general SpMSpM ``B``
+#: matrices): far away from any plausible workload position, so ``B`` streams
+#: never collide with primary streams.
+_PAIR_STREAM_OFFSET = 611_953
 
 
 @dataclass(frozen=True)
@@ -42,7 +49,8 @@ class WorkloadSpec:
     name:
         Workload name, matching the SuiteSparse matrix it stands in for.
     category:
-        ``"linear-system"`` (top half of Table 2) or ``"graph"`` (bottom half).
+        ``"linear-system"`` (top half of Table 2), ``"graph"`` (bottom half)
+        or ``"corpus"`` for matrices loaded from MatrixMarket files.
     description:
         One-line description of the structure being mimicked.
     paper_rows, paper_cols:
@@ -50,7 +58,13 @@ class WorkloadSpec:
     paper_sparsity:
         Sparsity of the original matrix as listed in Table 2.
     builder:
-        Callable that generates the synthetic stand-in.
+        Callable that generates the synthetic stand-in (or loads the corpus
+        file).
+    b_builder:
+        Optional builder for the workload's *paired* sparse operand (the
+        ``B`` of a general SpMSpM ``A × B``).  ``None`` (the default) derives
+        ``B`` from ``builder`` on an independent random stream — same
+        structure class, different instance.
     """
 
     name: str
@@ -60,10 +74,67 @@ class WorkloadSpec:
     paper_cols: int
     paper_sparsity: float
     builder: MatrixBuilder = field(repr=False, compare=False)
+    b_builder: Optional[MatrixBuilder] = field(
+        default=None, repr=False, compare=False)
 
     def build(self, rng: RandomState = None) -> SparseMatrix:
         """Generate the synthetic matrix for this workload."""
         return self.builder(resolve_rng(rng))
+
+    def build_pair(self, rng: RandomState = None) -> SparseMatrix:
+        """Generate the paired ``B`` operand (falls back to ``builder``)."""
+        builder = self.b_builder or self.builder
+        return builder(resolve_rng(rng))
+
+    @classmethod
+    def from_matrix_market(cls, path, *, name: str | None = None,
+                           category: str = "corpus",
+                           description: str | None = None) -> "WorkloadSpec":
+        """A spec whose matrix is loaded from a MatrixMarket file.
+
+        Only the banner and size line are read eagerly (for the spec
+        metadata); the entries are parsed lazily by the suite on first
+        :meth:`WorkloadSuite.matrix` call.  ``.gz``-compressed files are
+        handled transparently.
+
+        The paired operand (general SpMSpM's ``B``) of a corpus workload is a
+        deterministically row/column-permuted transpose of the file's matrix:
+        a genuinely distinct operand with the same occupancy distribution,
+        and dimension-compatible with ``A`` whatever its shape.
+        """
+        path = Path(path)
+        rows, cols, entries, symmetric = matrix_market_header(path)
+        workload_name = name or matrix_market_name(path)
+        # Stored entries of a symmetric file mirror off-diagonal; 2x is the
+        # (tight, diagonal-free) upper bound on the loaded nnz — reference
+        # metadata only, the real matrix reports its exact nnz.
+        nnz_hint = entries * 2 if symmetric else entries
+        density = nnz_hint / (rows * cols) if rows and cols else 0.0
+        return cls(
+            name=workload_name,
+            category=category,
+            description=description or f"MatrixMarket corpus matrix ({path.name})",
+            paper_rows=rows,
+            paper_cols=cols,
+            paper_sparsity=max(0.0, 1.0 - density),
+            builder=lambda rng: read_matrix_market(path, name=workload_name),
+            b_builder=lambda rng: _permuted_transpose(
+                read_matrix_market(path, name=workload_name), rng),
+        )
+
+
+def _permuted_transpose(matrix: SparseMatrix, rng: np.random.Generator) -> SparseMatrix:
+    """A random row/column permutation of ``matrix``'s transpose.
+
+    The default paired operand of corpus workloads: same nonzero count and
+    occupancy distribution as the original, but a distinct instance, and its
+    shape (``n × m``) composes with the original (``m × n``) under SpMSpM.
+    """
+    transposed = matrix.csr.T.tocsr()
+    row_order = rng.permutation(transposed.shape[0])
+    col_order = rng.permutation(transposed.shape[1])
+    return SparseMatrix(transposed[row_order][:, col_order],
+                        name=f"{matrix.name}.B")
 
 
 #: Process-wide matrix cache for the *canonical* suites (``default_suite`` /
@@ -110,14 +181,16 @@ class WorkloadSuite:
         subset matrices are bit-identical to the parent's without being built
         eagerly.
     cache_scope:
-        Token identifying a canonical spec set whose matrices may be shared
-        process-wide (used by :func:`default_suite` / :func:`small_suite`).
-        ``None`` (the default for custom suites) keeps caching per-instance.
+        Hashable token identifying a canonical spec set whose matrices may be
+        shared process-wide: a scope string for the built-in suites
+        (``default_suite`` / ``small_suite``) or a ``("mtx", paths)`` tuple
+        for :func:`corpus_suite`.  ``None`` (the default for custom suites)
+        keeps caching per-instance.
     """
 
     def __init__(self, specs: Sequence[WorkloadSpec], *, seed: int = 2023,
                  stream_indices: Dict[str, int] | None = None,
-                 cache_scope: str | None = None):
+                 cache_scope: Hashable | None = None):
         names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
             raise ValueError("workload names must be unique")
@@ -125,6 +198,7 @@ class WorkloadSuite:
         self._order: List[str] = names
         self._seed = int(seed)
         self._cache: Dict[str, SparseMatrix] = {}
+        self._pair_cache: Dict[str, SparseMatrix] = {}
         self._stream_indices: Dict[str, int] = {
             name: index for index, name in enumerate(names)
         }
@@ -149,6 +223,29 @@ class WorkloadSuite:
     def names(self) -> List[str]:
         """Workload names in suite order."""
         return list(self._order)
+
+    @property
+    def seed(self) -> int:
+        """Base seed of the per-workload random streams."""
+        return self._seed
+
+    def stream_index(self, name: str) -> int:
+        """The workload's random-stream index (its position in the suite it
+        was first defined in; see :meth:`matrix`)."""
+        if name not in self._specs:
+            raise KeyError(f"unknown workload {name!r}; known: {self._order}")
+        return self._stream_indices[name]
+
+    def kernel_rng(self, name: str, salt: int) -> np.random.Generator:
+        """A deterministic generator for kernel operands of workload ``name``.
+
+        The stream is a pure function of ``(suite seed, workload stream
+        index, salt)``, so dense kernel factors (SpMM features, SpMV vectors,
+        SDDMM factors) are bit-identical whether built in this process or
+        rebuilt by a scheduler worker from the suite token.
+        """
+        return np.random.default_rng(
+            (self._seed, self.stream_index(name), int(salt)))
 
     @property
     def cache_token(self):
@@ -191,6 +288,34 @@ class WorkloadSuite:
                 _SHARED_MATRIX_CACHE[shared_key] = built
         return self._cache[name]
 
+    def paired_matrix(self, name: str) -> SparseMatrix:
+        """Build (and cache) the paired ``B`` operand for workload ``name``.
+
+        Used by the general-SpMSpM kernel (``A × B`` with distinct operands).
+        When the spec declares no explicit ``b_builder`` the pair is derived
+        from the workload's own builder on an independent deterministic
+        stream (``stream index + _PAIR_STREAM_OFFSET``), i.e. a fresh
+        instance of the same structure class.
+        """
+        if name not in self._specs:
+            raise KeyError(f"unknown workload {name!r}; known: {self._order}")
+        if name not in self._pair_cache:
+            index = self._stream_indices[name]
+            shared_key = None
+            if self._cache_scope is not None:
+                shared_key = (self._cache_scope, self._seed, name, "pair")
+                shared = _SHARED_MATRIX_CACHE.get(shared_key)
+                if shared is not None:
+                    self._pair_cache[name] = shared
+                    return shared
+            stream = np.random.default_rng(
+                self._seed * 1_000_003 + _PAIR_STREAM_OFFSET + index)
+            built = self._specs[name].build_pair(stream)
+            self._pair_cache[name] = built
+            if shared_key is not None:
+                _SHARED_MATRIX_CACHE[shared_key] = built
+        return self._pair_cache[name]
+
     def matrices(self) -> Dict[str, SparseMatrix]:
         """Build all workloads and return them keyed by name."""
         return {name: self.matrix(name) for name in self._order}
@@ -214,6 +339,8 @@ class WorkloadSuite:
         for name in names:
             if name in self._cache:
                 subset._cache[name] = self._cache[name]
+            if name in self._pair_cache:
+                subset._pair_cache[name] = self._pair_cache[name]
         return subset
 
 
@@ -320,6 +447,27 @@ def default_suite(seed: int = 2023) -> WorkloadSuite:
     return WorkloadSuite(_default_specs(), seed=seed, cache_scope="table2")
 
 
+def corpus_suite(paths: Sequence, *, seed: int = 2023) -> WorkloadSuite:
+    """A suite of real matrices loaded from MatrixMarket files.
+
+    Each path (``.mtx`` or ``.mtx.gz``) becomes one workload named after its
+    filename stem; the matrices are parsed lazily and cached like the
+    synthetic suites.  The suite's ``cache_token`` scope is the tuple
+    ``("mtx", resolved paths)``, so corpus evaluations flow through the
+    parallel scheduler exactly like the canonical suites — workers re-read
+    the files from the same paths.
+    """
+    if not paths:
+        raise ValueError("corpus_suite needs at least one MatrixMarket path")
+    resolved = tuple(str(Path(p).resolve()) for p in paths)
+    specs = [WorkloadSpec.from_matrix_market(path) for path in resolved]
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"corpus filenames must yield unique workload "
+                         f"names, got {names}")
+    return WorkloadSuite(specs, seed=seed, cache_scope=("mtx", resolved))
+
+
 def suite_from_token(token: tuple) -> "WorkloadSuite":
     """Rebuild a canonical suite (or a subset of one) from its ``cache_token``.
 
@@ -329,17 +477,25 @@ def suite_from_token(token: tuple) -> "WorkloadSuite":
     use this to reconstruct bit-identical suites from seeds; see
     :mod:`repro.experiments.scheduler`.
 
+    Two scope layouts exist: a scope *string* naming a built-in canonical
+    suite (``"table2"``, ``"small"``), and the tuple ``("mtx", paths)`` of a
+    :func:`corpus_suite` — the latter is rebuilt by re-reading the
+    MatrixMarket files at the recorded absolute paths.
+
     Raises ``KeyError`` for tokens whose scope is not a canonical suite or
     whose order names unknown workloads.
     """
     scope, seed, order = token
-    try:
-        builder = _CANONICAL_SUITE_BUILDERS[scope]
-    except KeyError:
-        raise KeyError(
-            f"unknown canonical suite scope {scope!r}; "
-            f"known: {sorted(_CANONICAL_SUITE_BUILDERS)}") from None
-    suite = builder(int(seed))
+    if isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "mtx":
+        suite = corpus_suite(scope[1], seed=int(seed))
+    else:
+        try:
+            builder = _CANONICAL_SUITE_BUILDERS[scope]
+        except (KeyError, TypeError):
+            raise KeyError(
+                f"unknown canonical suite scope {scope!r}; "
+                f"known: {sorted(_CANONICAL_SUITE_BUILDERS)}") from None
+        suite = builder(int(seed))
     if list(order) != suite.names:
         suite = suite.subset(list(order))
     return suite

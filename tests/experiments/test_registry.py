@@ -7,8 +7,8 @@ import pytest
 from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 
-EXPECTED_NAMES = ["table1", "table2", "fig1", "fig5", "fig7", "fig8", "fig9",
-                  "fig10", "fig11", "fig12", "fig13"]
+EXPECTED_NAMES = ["table1", "table2", "table3", "fig1", "fig5", "fig7",
+                  "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
 
 
 @pytest.fixture(scope="module")

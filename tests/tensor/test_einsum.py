@@ -49,6 +49,65 @@ class TestEinsumSpec:
             MATMUL_EINSUM.validate_shapes({"A": (3, 4, 5)})
 
 
+class TestEinsumSpecErrorPaths:
+    """Error paths and non-matmul specs exercised by the kernel family."""
+
+    @pytest.mark.parametrize("expression", [
+        "Z[m,] = A[m,k] * B[k,n]",      # trailing comma: empty index
+        "Z[m,n] = A[,k] * B[k,n]",      # leading comma: empty index
+        "Z[m,n] = A[m, ,k] * B[k,n]",   # blank middle index
+    ])
+    def test_malformed_index_lists_raise(self, expression):
+        with pytest.raises(ValueError, match="malformed index list"):
+            EinsumSpec.parse(expression)
+
+    @pytest.mark.parametrize("expression", [
+        "Z[m,n] = A[m,k]",              # single operand
+        "Z[m,n] = A[m,k] + B[k,n]",     # wrong operator
+        "Z[m,n] = A[m,k] * B[k,n] * C[n,p]",  # three operands
+        "",
+    ])
+    def test_unparseable_expressions_raise(self, expression):
+        with pytest.raises(ValueError, match="expected an expression"):
+            EinsumSpec.parse(expression)
+
+    def test_validate_shapes_names_the_conflicting_index(self):
+        with pytest.raises(ValueError, match="index 'k'"):
+            MATMUL_EINSUM.validate_shapes({"A": (3, 4), "B": (5, 6)})
+
+    def test_validate_shapes_rank_mismatch_names_the_tensor(self):
+        with pytest.raises(ValueError, match="tensor B has 3 dimensions"):
+            MATMUL_EINSUM.validate_shapes({"B": (4, 5, 6)})
+
+    def test_validate_shapes_skips_unknown_tensors(self):
+        extents = MATMUL_EINSUM.validate_shapes({"A": (3, 4), "Q": (9, 9)})
+        assert extents == {"m": 3, "k": 4}
+
+    def test_validate_output_conflict_detected(self):
+        with pytest.raises(ValueError, match="conflicting extents"):
+            MATMUL_EINSUM.validate_shapes(
+                {"A": (3, 4), "B": (4, 5), "Z": (3, 7)})
+
+    def test_contracted_indices_spmv(self):
+        spec = EinsumSpec.parse("z[m] = A[m,k] * x[k]")
+        assert spec.contracted_indices == ("k",)
+        assert not spec.is_matmul
+        extents = spec.validate_shapes({"A": (6, 9), "x": (9,)})
+        assert extents == {"m": 6, "k": 9}
+
+    def test_contracted_indices_sddmm_elementwise(self):
+        # The SDDMM sampling einsum contracts nothing: every index of both
+        # operands survives into the output.
+        spec = EinsumSpec.parse("Z[m,n] = S[m,n] * P[m,n]")
+        assert spec.contracted_indices == ()
+        assert not spec.is_matmul
+
+    def test_contracted_indices_batched_contraction(self):
+        spec = EinsumSpec.parse("Z[b,m,n] = A[b,m,k] * B[b,k,n]")
+        assert spec.contracted_indices == ("k",)
+        assert not spec.is_matmul  # rank-3 operands are not a plain matmul
+
+
 class TestOperationCounts:
     def test_identity_times_identity(self):
         eye = SparseMatrix.identity(5)

@@ -83,3 +83,54 @@ class TestSuiteMechanics:
         a = small_suite(seed=1).matrix("tiny-social")
         b = small_suite(seed=2).matrix("tiny-social")
         assert a != b
+
+
+class TestPairedOperands:
+    def test_paired_matrix_differs_from_primary(self, test_suite):
+        primary = test_suite.matrix("tiny-social")
+        pair = test_suite.paired_matrix("tiny-social")
+        assert pair.csr.shape == primary.csr.shape  # same structure class
+        assert pair != primary                      # different instance
+
+    def test_paired_matrix_deterministic_across_instances(self):
+        a = small_suite().paired_matrix("tiny-fem")
+        b = small_suite().paired_matrix("tiny-fem")
+        assert (a.csr != b.csr).nnz == 0
+
+    def test_paired_matrix_cached(self, test_suite):
+        assert test_suite.paired_matrix("tiny-road") is \
+            test_suite.paired_matrix("tiny-road")
+
+    def test_paired_matrix_unknown_name_raises(self, test_suite):
+        with pytest.raises(KeyError):
+            test_suite.paired_matrix("missing")
+
+    def test_subset_carries_pairs_over(self, test_suite):
+        pair = test_suite.paired_matrix("tiny-fem")
+        subset = test_suite.subset(["tiny-fem"])
+        assert subset.paired_matrix("tiny-fem") is pair
+
+    def test_explicit_b_builder_wins(self, test_suite):
+        from dataclasses import replace
+
+        from repro.tensor.sparse import SparseMatrix
+
+        other = SparseMatrix.identity(600, name="explicit-b")
+        spec = replace(test_suite.spec("tiny-fem"),
+                       b_builder=lambda rng: other)
+        suite = WorkloadSuite([spec], seed=test_suite.seed)
+        assert suite.paired_matrix("tiny-fem") is other
+
+    def test_kernel_rng_is_pure_function_of_identity(self, test_suite):
+        import numpy as np
+
+        one = test_suite.kernel_rng("tiny-fem", 7).uniform(size=4)
+        two = small_suite().kernel_rng("tiny-fem", 7).uniform(size=4)
+        np.testing.assert_array_equal(one, two)
+        other_salt = small_suite().kernel_rng("tiny-fem", 8).uniform(size=4)
+        assert not np.array_equal(one, other_salt)
+
+    def test_stream_index_matches_position(self, test_suite):
+        assert [test_suite.stream_index(n) for n in test_suite.names] == [0, 1, 2]
+        with pytest.raises(KeyError):
+            test_suite.stream_index("missing")
