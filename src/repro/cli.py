@@ -18,8 +18,9 @@ Subcommands
 
 Both ``run`` and ``sweep`` take a kernel axis (``--kernel``; Gram SpMSpM,
 general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`) and can
-evaluate real MatrixMarket corpora instead of the synthetic suite
-(``--matrix path.mtx[.gz]``, repeatable).
+evaluate real MatrixMarket corpora (``--matrix path.mtx[.gz]``, repeatable)
+or seeded sparsity-model workloads (``--synth model:param=value,...``,
+repeatable; see :mod:`repro.tensor.synth`) instead of the built-in suites.
 
 Examples::
 
@@ -28,9 +29,12 @@ Examples::
     python -m repro run fig7 fig8 --suite quick --workers 2
     python -m repro run fig7 --kernel spmm --suite quick
     python -m repro run table3 --suite quick        # all kernels, one table
+    python -m repro run table4 --quick              # structure-skew ladder
     python -m repro run fig7 --matrix data/cage4.mtx.gz
+    python -m repro run fig7 --synth power_law_rows:alpha=2.1 --synth uniform
     python -m repro sweep --y 0.05,0.10,0.22 --glb-scales 0.5,1.0
     python -m repro sweep --kernel gram,spmm,spmv --suite quick
+    python -m repro sweep --synth uniform --synth banded:bandwidth=24
 """
 
 from __future__ import annotations
@@ -47,7 +51,8 @@ from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import EvaluationScheduler
 from repro.experiments.sweep import format_summaries, sweep_grid
 from repro.tensor.kernels import kernel_names
-from repro.tensor.suite import corpus_suite, default_suite, small_suite
+from repro.tensor.suite import corpus_suite, default_suite, small_suite, synth_suite
+from repro.tensor.synth import model_names, parse_synth_spec
 from repro.utils.text import format_table
 
 
@@ -69,11 +74,29 @@ def _parse_kernels(text: str) -> List[str]:
     return kernels
 
 
+def _parse_synth(text: str):
+    try:
+        return parse_synth_spec(text)
+    except (KeyError, ValueError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def _suite_for(args: argparse.Namespace):
-    """The workload suite for ``run``/``sweep``: corpus files or a built-in."""
+    """The workload suite for ``run``/``sweep``: synth specs, corpus files or
+    a built-in."""
+    if getattr(args, "synth", None):
+        return synth_suite(args.synth)
     if args.matrix:
         return corpus_suite([str(path) for path in args.matrix])
     return {"full": default_suite, "quick": small_suite}[args.suite]()
+
+
+def _suite_label(args: argparse.Namespace) -> str:
+    if getattr(args, "synth", None):
+        return "synth"
+    if args.matrix:
+        return "corpus"
+    return args.suite
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -94,10 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--suite", choices=("full", "quick"), default="full",
                      help="workload suite (default: full; quick also switches "
                           "to each experiment's fast parameter set)")
+    run.add_argument("--quick", action="store_const", dest="suite",
+                     const="quick", help="shorthand for --suite quick")
     run.add_argument("--matrix", action="append", type=Path, default=None,
                      metavar="PATH.mtx[.gz]",
                      help="evaluate real MatrixMarket matrices instead of the "
                           "synthetic suite (repeatable; overrides --suite)")
+    run.add_argument("--synth", action="append", type=_parse_synth,
+                     default=None, metavar="MODEL[:K=V,...]",
+                     help="evaluate seeded sparsity-model workloads instead "
+                          "of a built-in suite (repeatable; overrides --suite "
+                          f"and --matrix; models: {', '.join(model_names())})")
     run.add_argument("--kernel", choices=kernel_names(), default="gram",
                      help="kernel to evaluate the workloads under "
                           "(default: gram, the paper's A x A^T)")
@@ -137,6 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep over real MatrixMarket matrices instead of "
                             "the synthetic suite (repeatable; overrides "
                             "--suite)")
+    sweep.add_argument("--synth", action="append", type=_parse_synth,
+                       default=None, metavar="MODEL[:K=V,...]",
+                       help="sweep over seeded sparsity-model workloads — the "
+                            "model/params columns land in the JSON/CSV "
+                            "(repeatable; overrides --suite and --matrix; "
+                            f"models: {', '.join(model_names())})")
     sweep.add_argument("--workloads", default=None, metavar="W1,W2,...",
                        help="restrict to a comma-separated workload subset")
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
@@ -202,9 +238,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"[warning] {experiment.name} is pinned to kernel(s) "
                   f"{pinned}; --kernel {args.kernel} does not apply to it",
                   file=sys.stderr)
+        if ((args.synth or args.matrix) and experiment.needs_context
+                and not experiment.uses_context_suite):
+            flag = "--synth" if args.synth else "--matrix"
+            print(f"[warning] {experiment.name} evaluates its own workload "
+                  f"set; {flag} does not apply to it (only the architecture, "
+                  f"overbooking target and seed carry over)", file=sys.stderr)
+        # Experiments that schedule their own evaluations take the worker
+        # budget as a parameter; thread --workers through so it is honored.
+        if experiment.accepts_max_workers and args.workers is not None:
+            params[experiment.name].setdefault("max_workers", args.workers)
     context = None
     if any(experiment.needs_context for experiment in selected):
-        if args.matrix:
+        if args.matrix or args.synth:
             context = ExperimentContext(
                 suite=_suite_for(args),
                 overbooking_target=args.overbooking_target,
@@ -246,7 +292,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "experiment": experiment.name,
                 "artifact": experiment.artifact,
                 "title": experiment.title,
-                "suite": (("corpus" if args.matrix else args.suite)
+                "suite": (_suite_label(args)
                           if experiment.needs_context else None),
                 "kernel": effective_kernel(experiment),
                 "overbooking_target": (args.overbooking_target
@@ -266,7 +312,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if output_dir is not None:
         manifest_path = output_dir / "manifest.json"
         manifest_path.write_text(json.dumps({
-            "suite": args.suite,
+            "suite": _suite_label(args),
             "overbooking_target": args.overbooking_target,
             "total_seconds": round(time.perf_counter() - start, 4),
             "experiments": manifest,

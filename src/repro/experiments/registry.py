@@ -45,7 +45,7 @@ import numpy as np
 #: The experiment modules, in the paper's artifact order.  ``discover``
 #: imports them; each registers itself via the decorator below.
 EXPERIMENT_MODULES = (
-    "table1", "table2", "table3",
+    "table1", "table2", "table3", "table4",
     "fig1", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig11", "fig12", "fig13",
 )
@@ -97,6 +97,11 @@ class Experiment:
     module: str
     required_suite: str = "any"
     needs_reports: bool = False
+    #: Whether ``run`` evaluates the *context's* workload suite.  ``table4``
+    #: declares ``False``: it consumes the context only for its
+    #: architecture/target/seed and evaluates its own synthetic structure
+    #: ladder, so the CLI warns when ``--synth``/``--matrix`` cannot apply.
+    uses_suite: bool = True
     quick_params: Mapping[str, Any] = field(default_factory=dict)
     #: Which kernels the experiment applies to: ``("any",)`` for experiments
     #: that consume per-variant reports (they follow the context's kernel
@@ -110,6 +115,25 @@ class Experiment:
     def needs_context(self) -> bool:
         """Whether ``run`` takes an :class:`ExperimentContext`."""
         return self.required_suite != "none"
+
+    @property
+    def uses_context_suite(self) -> bool:
+        """Whether the experiment evaluates the *context's* workload suite
+        (declared via ``@register(..., uses_suite=False)`` to opt out)."""
+        return self.needs_context and self.uses_suite
+
+    @property
+    def accepts_max_workers(self) -> bool:
+        """Whether ``run`` takes a ``max_workers`` parameter.
+
+        Experiments that schedule their own evaluations (``table4`` batches
+        a suite the CLI never sees) declare the parameter; drivers thread
+        their worker budget through it so ``--workers`` is honored
+        everywhere.
+        """
+        import inspect
+
+        return "max_workers" in inspect.signature(self.compute).parameters
 
     @property
     def kernel_axis(self) -> str:
@@ -174,6 +198,7 @@ class Experiment:
 
 def register(*, name: str, artifact: str, title: str,
              required_suite: str = "any", needs_reports: bool = False,
+             uses_suite: bool = True,
              quick_params: Optional[Mapping[str, Any]] = None,
              kernels: tuple = ("any",)):
     """Class the decorated ``run`` function as the experiment ``name``."""
@@ -193,6 +218,7 @@ def register(*, name: str, artifact: str, title: str,
             module=func.__module__,
             required_suite=required_suite,
             needs_reports=needs_reports,
+            uses_suite=bool(uses_suite),
             quick_params=dict(quick_params or {}),
             kernels=tuple(kernels),
         )

@@ -1,8 +1,8 @@
 """Parameter-sweep runner: grids over ``y`` and buffer scaling, scheduled.
 
 The ROADMAP's scenario sweeps (overbooking target, GLB/PE capacity scaling,
-kernels, suite subsets) all reduce to evaluating the same suite under a grid
-of ``(architecture, overbooking_target, kernel)`` configurations.
+kernels, suite subsets, sparsity models) all reduce to evaluating a suite
+under a grid of ``(architecture, overbooking_target, kernel)`` configurations.
 :func:`sweep_grid`
 builds one :class:`~repro.experiments.runner.ExperimentContext` per grid
 point, batches *all* their evaluation requests through the
@@ -33,7 +33,8 @@ from repro.experiments.scheduler import (
     requests_for_context,
 )
 from repro.model.stats import geometric_mean
-from repro.tensor.suite import WorkloadSuite
+from repro.tensor.suite import WorkloadSuite, synth_suite
+from repro.tensor.synth import specs_by_workload_name
 
 #: Default overbooking-target grid: below, at, and above the paper's y = 10%.
 DEFAULT_Y_VALUES = (0.05, 0.10, 0.22)
@@ -58,13 +59,20 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepRow:
-    """Per-workload outcome at one grid point."""
+    """Per-workload outcome at one grid point.
+
+    ``model`` / ``model_params`` carry the sparsity-model identity when the
+    swept suite is synthetic (:func:`repro.tensor.suite.synth_suite`); they
+    are empty strings for canonical and corpus suites.
+    """
 
     overbooking_target: float
     glb_scale: float
     pe_scale: float
     kernel: str
     workload: str
+    model: str
+    model_params: str
     naive_cycles: float
     prescient_cycles: float
     overbooking_cycles: float
@@ -100,6 +108,7 @@ class SweepSummary:
 #: Column order of :meth:`SweepResult.write_csv`.
 _CSV_COLUMNS = (
     "overbooking_target", "glb_scale", "pe_scale", "kernel", "workload",
+    "model", "model_params",
     "naive_cycles", "prescient_cycles", "overbooking_cycles",
     "speedup_ob_vs_naive", "speedup_ob_vs_prescient",
     "naive_energy_pj", "prescient_energy_pj", "overbooking_energy_pj",
@@ -160,11 +169,12 @@ def _scaled_architecture(base: ArchitectureConfig, glb_scale: float,
     )
 
 
-def sweep_grid(suite: WorkloadSuite, *,
+def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
                y_values: Sequence[float] = DEFAULT_Y_VALUES,
                glb_scales: Sequence[float] = (1.0,),
                pe_scales: Sequence[float] = (1.0,),
                kernels: Sequence[str] = ("gram",),
+               synth: Optional[Sequence] = None,
                base_architecture: Optional[ArchitectureConfig] = None,
                workloads: Optional[Sequence[str]] = None,
                scheduler: Optional[EvaluationScheduler] = None,
@@ -173,14 +183,25 @@ def sweep_grid(suite: WorkloadSuite, *,
 
     ``workloads`` restricts the sweep to a subset of the suite; ``kernels``
     adds a kernel dimension to the grid (default: the paper's Gram kernel
-    only).  All grid points are batched through one scheduler prefetch; pass
-    ``max_workers=1`` (or a pre-configured ``scheduler``) to force serial
-    evaluation.
+    only).  ``synth`` makes sparsity *structure* the workload axis instead of
+    a suite: a sequence of :class:`~repro.tensor.synth.SynthSpec`s (or CLI
+    strings ``"model:param=value,..."``) swept as one synthetic suite, with
+    each row carrying ``model`` / ``model_params`` columns in the JSON/CSV
+    artifacts.  All grid points are batched through one scheduler prefetch;
+    pass ``max_workers=1`` (or a pre-configured ``scheduler``) to force
+    serial evaluation.
     """
     if not y_values:
         raise ValueError("y_values must not be empty")
     if not kernels:
         raise ValueError("kernels must not be empty")
+    if synth is not None:
+        if suite is not None:
+            raise ValueError("pass either a suite or synth specs, not both")
+        suite = synth_suite(synth)
+    elif suite is None:
+        raise ValueError("sweep_grid needs a suite (or synth specs)")
+    synth_specs = specs_by_workload_name(suite)
     base = base_architecture or scaled_default_config()
     if workloads is not None:
         suite = suite.subset(list(workloads))
@@ -221,12 +242,15 @@ def sweep_grid(suite: WorkloadSuite, *,
             naive = reports[context.naive_name]
             prescient = reports[context.prescient_name]
             overbooking = reports[context.overbooking_name]
+            spec = synth_specs.get(name)
             point_rows.append(SweepRow(
                 overbooking_target=point.overbooking_target,
                 glb_scale=point.glb_scale,
                 pe_scale=point.pe_scale,
                 kernel=point.kernel,
                 workload=name,
+                model=spec.model if spec is not None else "",
+                model_params=spec.params_label if spec is not None else "",
                 naive_cycles=naive.cycles,
                 prescient_cycles=prescient.cycles,
                 overbooking_cycles=overbooking.cycles,

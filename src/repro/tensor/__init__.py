@@ -14,6 +14,9 @@ about sparse tensors:
   SpMM, SpMV, SDDMM) behind the workload layer.
 * :mod:`repro.tensor.generators` — synthetic sparse matrix generators that
   mimic the SuiteSparse matrix classes used in the paper's evaluation.
+* :mod:`repro.tensor.synth` — the seeded sparsity-model registry
+  (:class:`SynthSpec`) that turns sparsity structure into a first-class,
+  exactly reproducible experiment axis.
 * :mod:`repro.tensor.suite` — the 22-workload synthetic evaluation suite
   mirroring Table 2 of the paper, plus MatrixMarket corpus suites.
 * :mod:`repro.tensor.io` — MatrixMarket-style persistence.
@@ -34,12 +37,20 @@ from repro.tensor.kernels import (
 from repro.tensor.generators import (
     banded_matrix,
     block_diagonal_matrix,
+    density_gradient_matrix,
     erdos_renyi_matrix,
     power_law_matrix,
     road_network_matrix,
     uniform_random_matrix,
 )
-from repro.tensor.suite import WorkloadSpec, WorkloadSuite, corpus_suite, default_suite
+from repro.tensor.suite import (
+    WorkloadSpec,
+    WorkloadSuite,
+    corpus_suite,
+    default_suite,
+    synth_suite,
+)
+from repro.tensor.synth import SynthSpec, model_names, parse_synth_spec
 
 __all__ = [
     "Shape",
@@ -59,6 +70,7 @@ __all__ = [
     "kernel_names",
     "banded_matrix",
     "block_diagonal_matrix",
+    "density_gradient_matrix",
     "erdos_renyi_matrix",
     "power_law_matrix",
     "road_network_matrix",
@@ -67,4 +79,8 @@ __all__ = [
     "WorkloadSuite",
     "corpus_suite",
     "default_suite",
+    "synth_suite",
+    "SynthSpec",
+    "model_names",
+    "parse_synth_spec",
 ]

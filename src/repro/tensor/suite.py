@@ -183,9 +183,10 @@ class WorkloadSuite:
     cache_scope:
         Hashable token identifying a canonical spec set whose matrices may be
         shared process-wide: a scope string for the built-in suites
-        (``default_suite`` / ``small_suite``) or a ``("mtx", paths)`` tuple
-        for :func:`corpus_suite`.  ``None`` (the default for custom suites)
-        keeps caching per-instance.
+        (``default_suite`` / ``small_suite``), a ``("mtx", paths)`` tuple for
+        :func:`corpus_suite`, or a ``("synth", spec tokens)`` tuple for
+        :func:`synth_suite`.  ``None`` (the default for custom suites) keeps
+        caching per-instance.
     """
 
     def __init__(self, specs: Sequence[WorkloadSpec], *, seed: int = 2023,
@@ -468,6 +469,32 @@ def corpus_suite(paths: Sequence, *, seed: int = 2023) -> WorkloadSuite:
     return WorkloadSuite(specs, seed=seed, cache_scope=("mtx", resolved))
 
 
+def synth_suite(specs: Sequence, *, seed: int = 2023) -> WorkloadSuite:
+    """A suite of synthetic sparsity-model workloads (see :mod:`repro.tensor.synth`).
+
+    ``specs`` mixes :class:`~repro.tensor.synth.SynthSpec` instances and CLI
+    strings (``"model:param=value,..."``); each becomes one workload named
+    after its model and non-default parameters.  The suite's ``cache_token``
+    scope is ``("synth", spec tokens)`` — hashable and picklable — so
+    synthetic evaluations flow through the parallel scheduler exactly like
+    the canonical suites: workers regenerate the matrices bit-identically
+    from ``(model, params, seed)`` via :func:`suite_from_token`.
+    """
+    from repro.tensor import synth  # synth imports WorkloadSpec from here
+
+    if not specs:
+        raise ValueError("synth_suite needs at least one sparsity-model spec")
+    resolved = synth.synth_specs(specs)
+    names = [spec.workload_name for spec in resolved]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            f"synth specs must be distinct (identical (model, params) pairs "
+            f"collapse to one workload), got {names}")
+    return WorkloadSuite(
+        [spec.workload_spec() for spec in resolved], seed=seed,
+        cache_scope=("synth", tuple(spec.token for spec in resolved)))
+
+
 def suite_from_token(token: tuple) -> "WorkloadSuite":
     """Rebuild a canonical suite (or a subset of one) from its ``cache_token``.
 
@@ -477,10 +504,12 @@ def suite_from_token(token: tuple) -> "WorkloadSuite":
     use this to reconstruct bit-identical suites from seeds; see
     :mod:`repro.experiments.scheduler`.
 
-    Two scope layouts exist: a scope *string* naming a built-in canonical
-    suite (``"table2"``, ``"small"``), and the tuple ``("mtx", paths)`` of a
-    :func:`corpus_suite` — the latter is rebuilt by re-reading the
-    MatrixMarket files at the recorded absolute paths.
+    Three scope layouts exist: a scope *string* naming a built-in canonical
+    suite (``"table2"``, ``"small"``), the tuple ``("mtx", paths)`` of a
+    :func:`corpus_suite` — rebuilt by re-reading the MatrixMarket files at
+    the recorded absolute paths — and the tuple ``("synth", spec tokens)`` of
+    a :func:`synth_suite`, rebuilt by regenerating every matrix from its
+    ``(model, params, seed)`` identity.
 
     Raises ``KeyError`` for tokens whose scope is not a canonical suite or
     whose order names unknown workloads.
@@ -488,6 +517,12 @@ def suite_from_token(token: tuple) -> "WorkloadSuite":
     scope, seed, order = token
     if isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "mtx":
         suite = corpus_suite(scope[1], seed=int(seed))
+    elif isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "synth":
+        from repro.tensor import synth
+
+        suite = synth_suite(
+            [synth.spec_from_token(entry) for entry in scope[1]],
+            seed=int(seed))
     else:
         try:
             builder = _CANONICAL_SUITE_BUILDERS[scope]

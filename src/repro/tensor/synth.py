@@ -1,0 +1,396 @@
+"""Seeded sparsity-model registry: synthetic structure as an experiment axis.
+
+The evaluation suites so far come from two places: the 22 Table-2 stand-ins
+(:func:`repro.tensor.suite.default_suite`) and MatrixMarket corpora
+(:func:`repro.tensor.suite.corpus_suite`).  Both are *file lists* — a fixed
+set of matrices.  This module makes sparsity **structure** itself the
+first-class axis: a registry of parameterized sparsity models
+
+* ``uniform`` — no structure (Swiftiles' estimate is exact here);
+* ``banded`` — FEM-style dense band plus off-band scatter;
+* ``block_diagonal`` — dense diagonal blocks (pdb1HYS-like);
+* ``power_law_rows`` — RMAT-like hub skew, the heavy-tailed regime where
+  overbooking wins the most;
+* ``density_gradient`` — density ramping monotonically toward one corner,
+  a probe between the uniform and heavy-tailed regimes
+
+each of which emits :class:`~repro.tensor.suite.WorkloadSpec`-compatible
+builders.  A :class:`SynthSpec` is the exactly-reproducible identity of one
+synthetic workload: the ``(model, params)`` pair, canonicalized (defaults
+resolved, values coerced, keys sorted), so that
+
+* the same ``(model, params, seed)`` triple always regenerates the
+  bit-identical matrix, wherever it is built;
+* its :attr:`SynthSpec.token` is hashable *and picklable*, which is what lets
+  :func:`repro.tensor.suite.synth_suite` give synthetic suites a
+  ``("synth", tokens)`` cache scope that parallel-scheduler workers rebuild
+  via :func:`repro.tensor.suite.suite_from_token` — synthetic evaluations
+  flow through the whole batching/dedup/fan-out machinery exactly like the
+  canonical suites.
+
+The CLI (``--synth model:param=value,...``), the sweep runner's
+model/params columns, and the ``table4`` experiment (overbooking benefit
+vs. structure skew) are all thin layers over this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.tensor import generators
+from repro.tensor.sparse import SparseMatrix
+from repro.utils.rng import RandomState, resolve_rng
+
+#: Parameter values are plain numbers so spec tokens stay picklable/hashable.
+ParamValue = Union[int, float]
+#: Canonical parameter layout: ``((key, value), ...)`` sorted by key.
+ParamItems = Tuple[Tuple[str, ParamValue], ...]
+
+
+def _format_value(value: ParamValue) -> str:
+    # repr() is the shortest round-trip rendering for floats, so distinct
+    # values never collapse to one label (a "%g" would truncate at 6
+    # significant digits) and parse_synth_spec(params_label) is lossless.
+    return str(value) if isinstance(value, int) else repr(value)
+
+
+def format_params(params: Mapping[str, ParamValue] | ParamItems) -> str:
+    """Render parameters as the CLI's ``key=value,key=value`` syntax."""
+    items = params.items() if isinstance(params, Mapping) else params
+    return ",".join(f"{key}={_format_value(value)}" for key, value in items)
+
+
+@dataclass(frozen=True)
+class SparsityModel:
+    """One registered sparsity model (see the module docstring).
+
+    Attributes
+    ----------
+    name:
+        Registry key, used by the CLI (``--synth name:...``) and spec tokens.
+    title:
+        One-line description for docs and error messages.
+    defaults:
+        Canonical parameter set with default values.  A parameter's default
+        also fixes its *type*: integer defaults coerce overrides with
+        ``int()``, float defaults with ``float()`` — so resolved parameters
+        (and with them the spec tokens) are independent of how the caller
+        spelled the value (``0.5`` vs ``"0.5"``, ``10`` vs ``10.0``).
+    build:
+        ``build(params, rng, name)`` — generates the matrix from fully
+        resolved parameters and an explicit random stream.
+    """
+
+    name: str
+    title: str
+    defaults: ParamItems
+    build: Callable[[Dict[str, ParamValue], np.random.Generator, str],
+                    SparseMatrix] = field(repr=False, compare=False)
+    #: ``metadata(params) -> (rows, cols, nnz_hint)`` for spec bookkeeping.
+    metadata: Callable[[Dict[str, ParamValue]], Tuple[int, int, int]] = field(
+        repr=False, compare=False, default=None)
+
+    def resolve(self, params: Mapping[str, ParamValue]) -> Dict[str, ParamValue]:
+        """Defaults merged with ``params``, values coerced to default types."""
+        known = dict(self.defaults)
+        unknown = sorted(set(params) - set(known))
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {unknown} for sparsity model "
+                f"{self.name!r}; known: {sorted(known)}")
+        resolved = dict(known)
+        for key, value in params.items():
+            coerce = int if isinstance(known[key], int) else float
+            try:
+                resolved[key] = coerce(value)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"parameter {key!r} of sparsity model {self.name!r} "
+                    f"expects {coerce.__name__}, got {value!r}") from None
+        return resolved
+
+
+# --------------------------------------------------------------------- #
+# The registered models
+# --------------------------------------------------------------------- #
+def _build_uniform(params, rng, name):
+    return generators.uniform_random_matrix(
+        params["n"], params["n"], params["nnz"], rng=rng, name=name)
+
+
+def _build_banded(params, rng, name):
+    return generators.banded_matrix(
+        params["n"], bandwidth=params["bandwidth"],
+        band_fill=params["band_fill"], off_band_nnz=params["off_band_nnz"],
+        rng=rng, name=name)
+
+
+def _build_block_diagonal(params, rng, name):
+    return generators.block_diagonal_matrix(
+        params["n"], block_size=params["block_size"],
+        block_fill=params["block_fill"], off_block_nnz=params["off_block_nnz"],
+        rng=rng, name=name)
+
+
+def _build_power_law_rows(params, rng, name):
+    return generators.power_law_matrix(
+        params["n"], params["nnz"], alpha=params["alpha"],
+        max_degree_fraction=params["max_degree_fraction"], rng=rng, name=name)
+
+
+def _build_density_gradient(params, rng, name):
+    return generators.density_gradient_matrix(
+        params["n"], params["n"], params["nnz"], gamma=params["gamma"],
+        rng=rng, name=name)
+
+
+def _square_meta(nnz_key):
+    def metadata(params):
+        return params["n"], params["n"], params[nnz_key]
+    return metadata
+
+
+def _banded_meta(params):
+    per_row = max(1, int(round(params["band_fill"] * (2 * params["bandwidth"] + 1))))
+    return params["n"], params["n"], params["n"] * per_row + params["off_band_nnz"]
+
+
+def _block_diagonal_meta(params):
+    n, block = params["n"], params["block_size"]
+    blocks = -(-n // block)
+    per_block = max(block, int(round(params["block_fill"] * block * block)))
+    return n, n, blocks * per_block + params["off_block_nnz"] + n
+
+
+MODELS: Dict[str, SparsityModel] = {
+    model.name: model for model in (
+        SparsityModel(
+            name="uniform",
+            title="uniformly scattered nonzeros (no structure)",
+            defaults=(("n", 900), ("nnz", 8100)),
+            build=_build_uniform,
+            metadata=_square_meta("nnz"),
+        ),
+        SparsityModel(
+            name="banded",
+            title="FEM-style dense band plus off-band scatter",
+            defaults=(("band_fill", 0.8), ("bandwidth", 10), ("n", 800),
+                      ("off_band_nnz", 1600)),
+            build=_build_banded,
+            metadata=_banded_meta,
+        ),
+        SparsityModel(
+            name="block_diagonal",
+            title="dense diagonal blocks plus off-block scatter",
+            defaults=(("block_fill", 0.5), ("block_size", 48), ("n", 768),
+                      ("off_block_nnz", 1500)),
+            build=_build_block_diagonal,
+            metadata=_block_diagonal_meta,
+        ),
+        SparsityModel(
+            name="power_law_rows",
+            title="RMAT-like hub skew (power-law row/column degrees)",
+            defaults=(("alpha", 1.7), ("max_degree_fraction", 0.04),
+                      ("n", 900), ("nnz", 9000)),
+            build=_build_power_law_rows,
+            metadata=_square_meta("nnz"),
+        ),
+        SparsityModel(
+            name="density_gradient",
+            title="density ramping monotonically toward one corner",
+            defaults=(("gamma", 2.0), ("n", 800), ("nnz", 8000)),
+            build=_build_density_gradient,
+            metadata=_square_meta("nnz"),
+        ),
+    )
+}
+
+
+def model_names() -> Tuple[str, ...]:
+    """The registered sparsity-model names."""
+    return tuple(MODELS)
+
+
+def get_model(name: str) -> SparsityModel:
+    """The :class:`SparsityModel` registered as ``name`` (KeyError with hint)."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown sparsity model {name!r}; "
+                       f"known: {list(MODELS)}") from None
+
+
+# --------------------------------------------------------------------- #
+# Specs: the reproducible (model, params) identity
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SynthSpec:
+    """Canonical identity of one synthetic workload.
+
+    Construction resolves the model's defaults and coerces every value, so
+    two specs describing the same effective configuration compare (and hash,
+    and pickle) equal no matter how they were spelled.  ``params`` holds the
+    *fully resolved* parameter set as a sorted item tuple.
+    """
+
+    model: str
+    params: ParamItems = ()
+
+    def __post_init__(self) -> None:
+        resolved = get_model(self.model).resolve(dict(self.params))
+        object.__setattr__(self, "params", tuple(sorted(resolved.items())))
+
+    # -------------------------------------------------------------- #
+    @property
+    def token(self) -> tuple:
+        """Hashable, picklable identity: ``(model, resolved params)``.
+
+        Everything a scheduler worker needs to regenerate the matrix
+        bit-identically (together with the suite seed carried by the suite
+        token that embeds this one).
+        """
+        return (self.model, self.params)
+
+    @property
+    def overrides(self) -> ParamItems:
+        """The parameters that differ from the model's defaults."""
+        defaults = dict(get_model(self.model).defaults)
+        return tuple((key, value) for key, value in self.params
+                     if value != defaults[key])
+
+    @property
+    def workload_name(self) -> str:
+        """Deterministic workload name: model plus non-default parameters.
+
+        Distinct specs of one model always differ in at least one resolved
+        parameter, so the override rendering is unique per distinct spec.
+        """
+        overrides = self.overrides
+        if not overrides:
+            return self.model
+        return f"{self.model}[{format_params(overrides)}]"
+
+    @property
+    def params_label(self) -> str:
+        """Full resolved parameters as ``key=value,...`` (sweep columns)."""
+        return format_params(self.params)
+
+    # -------------------------------------------------------------- #
+    def build(self, rng: RandomState = None) -> SparseMatrix:
+        """Generate the matrix (explicit stream => exact reproducibility)."""
+        return get_model(self.model).build(
+            dict(self.params), resolve_rng(rng), self.workload_name)
+
+    def workload_spec(self):
+        """A :class:`~repro.tensor.suite.WorkloadSpec` wrapping this model.
+
+        The paired ``B`` operand of general SpMSpM falls back to the suite's
+        default derivation — a fresh instance of the same model on an
+        independent deterministic stream.
+        """
+        from repro.tensor.suite import WorkloadSpec  # suite imports us lazily
+
+        model = get_model(self.model)
+        rows, cols, nnz_hint = model.metadata(dict(self.params))
+        points = rows * cols
+        density = min(nnz_hint, points) / points if points else 0.0
+        return WorkloadSpec(
+            name=self.workload_name,
+            category="synthetic",
+            description=f"{model.title} ({self.params_label})",
+            paper_rows=rows,
+            paper_cols=cols,
+            paper_sparsity=max(0.0, 1.0 - density),
+            builder=self.build,
+        )
+
+
+def spec_from_token(token: tuple) -> SynthSpec:
+    """Rebuild a :class:`SynthSpec` from its :attr:`SynthSpec.token`.
+
+    The inverse of ``token`` (revalidated against the registry), used by
+    :func:`repro.tensor.suite.suite_from_token` in scheduler workers.
+    """
+    model, params = token
+    return SynthSpec(model=model, params=tuple(params))
+
+
+def parse_synth_spec(text: str) -> SynthSpec:
+    """Parse the CLI syntax ``model[:param=value,param=value,...]``.
+
+    Examples: ``uniform``, ``banded:bandwidth=24``,
+    ``power_law_rows:n=1200,nnz=14000,alpha=2.1``.  Values parse as ``int``
+    when possible, else ``float``; the model's defaults fix the final type.
+    """
+    model, _, param_text = text.strip().partition(":")
+    if not model:
+        raise ValueError(f"empty sparsity-model spec {text!r}")
+    params: Dict[str, ParamValue] = {}
+    for part in param_text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value_text = part.partition("=")
+        key, value_text = key.strip(), value_text.strip()
+        if not sep or not key or not value_text:
+            raise ValueError(
+                f"malformed parameter {part!r} in synth spec {text!r}; "
+                f"expected key=value")
+        try:
+            value: ParamValue = int(value_text)
+        except ValueError:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"parameter {key!r} in synth spec {text!r} must be "
+                    f"numeric, got {value_text!r}") from None
+        if key in params:
+            raise ValueError(
+                f"parameter {key!r} given twice in synth spec {text!r}")
+        params[key] = value
+    return SynthSpec(model=model, params=tuple(params.items()))
+
+
+def specs_by_workload_name(suite) -> Dict[str, SynthSpec]:
+    """Map workload name → :class:`SynthSpec` for a synthetic suite.
+
+    Returns ``{}`` for suites that are not synth-scoped (canonical, corpus or
+    custom).  Subsets keep the parent's scope, so the mapping may contain
+    more names than the subset exposes — callers index by workload name.
+    """
+    token = getattr(suite, "cache_token", None)
+    if token is None:
+        return {}
+    scope = token[0]
+    if not (isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "synth"):
+        return {}
+    return {spec.workload_name: spec
+            for spec in (spec_from_token(entry) for entry in scope[1])}
+
+
+def tile_occupancy_cv(matrix: SparseMatrix, *, grid: int = 16) -> float:
+    """Coefficient of variation of tile occupancies on a ``grid × grid`` split.
+
+    A scale-free summary of structure skew: 0 for perfectly even tilings,
+    growing with banding/blocking and largest for hub-dominated matrices.
+    The ``table4`` experiment reports it next to the overbooking benefit.
+    """
+    tile_rows = max(1, -(-matrix.num_rows // grid))
+    tile_cols = max(1, -(-matrix.num_cols // grid))
+    occupancies = matrix.tile_occupancies(tile_rows, tile_cols,
+                                          include_empty=True)
+    occupancies = np.asarray(occupancies, dtype=np.float64)
+    mean = occupancies.mean() if occupancies.size else 0.0
+    if mean == 0.0:
+        return 0.0
+    return float(occupancies.std() / mean)
+
+
+def synth_specs(specs: Sequence[Union[str, SynthSpec]]) -> Tuple[SynthSpec, ...]:
+    """Normalize a mixed sequence of CLI strings / specs into specs."""
+    return tuple(spec if isinstance(spec, SynthSpec) else parse_synth_spec(spec)
+                 for spec in specs)

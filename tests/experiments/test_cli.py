@@ -46,7 +46,7 @@ class TestRun:
         assert code == 0
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         names = [entry["experiment"] for entry in manifest["experiments"]]
-        assert len(names) == 12
+        assert len(names) == 13
         for entry in manifest["experiments"]:
             artifact = json.loads((tmp_path / entry["path"]).read_text())
             assert artifact["experiment"] == entry["experiment"]
@@ -84,3 +84,67 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "--y", "abc"])
         assert "comma-separated" in capsys.readouterr().err
+
+
+class TestSynthCli:
+    def test_run_with_synth_workloads(self, tmp_path, capsys):
+        code = main(["run", "fig7", "--synth", "uniform:n=200,nnz=1500",
+                     "--synth", "power_law_rows:n=220,nnz=1600",
+                     "--workers", "1", "--output-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "fig7.json").read_text())
+        assert payload["suite"] == "synth"
+        workloads = [row["workload"] for row in payload["result"]["rows"]]
+        assert workloads == ["uniform[n=200,nnz=1500]",
+                             "power_law_rows[n=220,nnz=1600]"]
+
+    def test_run_table4_quick_flag(self, tmp_path):
+        # The acceptance path: `python -m repro run table4 --quick`.
+        code = main(["run", "table4", "--quick", "--workers", "1",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "table4.json").read_text())
+        assert payload["suite"] == "quick"
+        rows = payload["result"]["rows"]
+        assert {row["model"] for row in rows} == {
+            "uniform", "density_gradient", "banded", "power_law_rows"}
+        assert {row["kernel"] for row in rows} == {"gram", "spmv"}
+
+    def test_sweep_with_synth_has_model_columns(self, tmp_path):
+        code = main(["sweep", "--synth", "uniform:n=180,nnz=1200",
+                     "--synth", "banded:n=180,bandwidth=6",
+                     "--y", "0.1", "--workers", "1",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        header, *rows = (tmp_path / "sweep.csv").read_text().splitlines()
+        assert "model" in header.split(",") and "model_params" in header.split(",")
+        assert len(rows) == 2
+        assert any(",uniform," in row for row in rows)
+
+        payload = json.loads((tmp_path / "sweep.json").read_text())
+        assert {row["model"] for row in payload["rows"]} == {"uniform", "banded"}
+
+    def test_malformed_synth_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--synth", "uniform:n=abc"])
+        assert "must be numeric" in capsys.readouterr().err
+
+    def test_unknown_synth_model_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "fig7", "--synth", "rmat"])
+        assert "unknown sparsity model" in capsys.readouterr().err
+
+    def test_run_table4_warns_that_synth_does_not_apply(self, tmp_path, capsys):
+        code = main(["run", "table4", "--quick", "--synth", "uniform:n=150,nnz=800",
+                     "--workers", "1", "--output-dir", str(tmp_path)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "--synth does not apply" in err
+
+    def test_run_threads_workers_into_self_scheduling_experiments(self, tmp_path):
+        # table4 schedules its own evaluations; --workers must reach it.
+        code = main(["run", "table4", "--quick", "--workers", "1",
+                     "--output-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "table4.json").read_text())
+        assert payload["params"]["max_workers"] == 1

@@ -7,8 +7,8 @@ import pytest
 from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 
-EXPECTED_NAMES = ["table1", "table2", "table3", "fig1", "fig5", "fig7",
-                  "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
+EXPECTED_NAMES = ["table1", "table2", "table3", "table4", "fig1", "fig5",
+                  "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13"]
 
 
 @pytest.fixture(scope="module")
@@ -101,3 +101,14 @@ class TestToJsonable:
         assert "geomean_overbooking" in payload
         assert payload["geomean_overbooking"] == pytest.approx(
             result.geomean_overbooking)
+
+
+class TestSuiteAndWorkerDeclarations:
+    def test_table4_declares_its_own_workload_set(self):
+        assert registry.get("table4").uses_context_suite is False
+        assert registry.get("fig7").uses_context_suite is True
+        assert registry.get("fig5").uses_context_suite is False
+
+    def test_self_scheduling_experiments_accept_max_workers(self):
+        assert registry.get("table4").accepts_max_workers is True
+        assert registry.get("fig7").accepts_max_workers is False

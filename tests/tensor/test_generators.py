@@ -137,3 +137,40 @@ class TestRoadNetwork:
         a = generators.road_network_matrix(300, rng=9)
         b = generators.road_network_matrix(300, rng=9)
         assert a == b
+
+
+class TestDensityGradient:
+    def test_shape_and_nnz(self):
+        m = generators.density_gradient_matrix(200, 150, 2000, rng=0)
+        assert m.csr.shape == (200, 150)
+        assert 0.9 * 2000 <= m.nnz <= 2000
+
+    def test_density_ramps_along_rows(self):
+        m = generators.density_gradient_matrix(400, 400, 8000, gamma=2.0, rng=1)
+        occupancies = m.row_occupancies()
+        top = occupancies[:100].sum()
+        bottom = occupancies[-100:].sum()
+        assert bottom > 3 * top
+
+    def test_gamma_zero_is_flat(self):
+        m = generators.density_gradient_matrix(400, 400, 8000, gamma=0.0, rng=2)
+        occupancies = m.row_occupancies()
+        assert occupancies[-100:].sum() < 2 * occupancies[:100].sum()
+
+    def test_larger_gamma_is_more_skewed(self):
+        mild = generators.density_gradient_matrix(300, 300, 5000, gamma=0.5, rng=3)
+        steep = generators.density_gradient_matrix(300, 300, 5000, gamma=4.0, rng=3)
+        assert steep.row_occupancies().max() > mild.row_occupancies().max()
+
+    def test_deterministic(self):
+        a = generators.density_gradient_matrix(250, 250, 3000, gamma=2.0, rng=7)
+        b = generators.density_gradient_matrix(250, 250, 3000, gamma=2.0, rng=7)
+        assert a == b
+
+    def test_nnz_capped_at_size(self):
+        m = generators.density_gradient_matrix(10, 10, 1000, gamma=1.0, rng=0)
+        assert m.nnz <= 100
+
+    def test_negative_gamma_raises(self):
+        with pytest.raises(ValueError):
+            generators.density_gradient_matrix(100, 100, 500, gamma=-1.0, rng=0)

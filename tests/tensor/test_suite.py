@@ -134,3 +134,108 @@ class TestPairedOperands:
         assert [test_suite.stream_index(n) for n in test_suite.names] == [0, 1, 2]
         with pytest.raises(KeyError):
             test_suite.stream_index("missing")
+
+
+class TestStreamDeterminism:
+    """Regression guards for the per-workload stream derivation.
+
+    A workload's matrix stream is ``default_rng(seed * 1_000_003 + stream
+    index)``, its pair stream the same at ``+ _PAIR_STREAM_OFFSET``, and its
+    kernel streams ``default_rng((seed, stream index, salt))`` — all pure
+    functions of ``(suite seed, stream index)``.  Subsets and re-ordered
+    suites carry their parent's indices, so every stream must survive both.
+    """
+
+    def test_matrix_stream_derivation_is_pinned(self, test_suite):
+        import numpy as np
+
+        for name in test_suite.names:
+            index = test_suite.stream_index(name)
+            stream = np.random.default_rng(
+                test_suite.seed * 1_000_003 + index)
+            expected = test_suite.spec(name).build(stream)
+            assert test_suite.matrix(name) == expected
+
+    def test_pair_stream_derivation_is_pinned(self):
+        import numpy as np
+
+        from repro.tensor.suite import _PAIR_STREAM_OFFSET
+
+        suite = small_suite()
+        name = suite.names[1]
+        stream = np.random.default_rng(
+            suite.seed * 1_000_003 + _PAIR_STREAM_OFFSET
+            + suite.stream_index(name))
+        assert suite.paired_matrix(name) == suite.spec(name).build_pair(stream)
+
+    def test_lazy_subset_rebuilds_identical_matrices(self):
+        # The subset is taken BEFORE anything is built, so it cannot carry
+        # cached matrices — it must re-derive the parent's streams.
+        parent = small_suite()
+        subset = small_suite().subset(["tiny-road", "tiny-fem"])
+        for name in subset.names:
+            assert subset.matrix(name) == parent.matrix(name)
+            assert subset.paired_matrix(name) == parent.paired_matrix(name)
+
+    def test_reordered_subset_preserves_streams(self):
+        parent = small_suite()
+        reordered = small_suite().subset(list(reversed(parent.names)))
+        assert reordered.names == list(reversed(parent.names))
+        for name in parent.names:
+            assert reordered.stream_index(name) == parent.stream_index(name)
+            assert reordered.matrix(name) == parent.matrix(name)
+
+    def test_subset_of_subset_preserves_streams(self):
+        parent = small_suite()
+        nested = small_suite().subset(["tiny-social", "tiny-road"]) \
+            .subset(["tiny-road"])
+        assert nested.stream_index("tiny-road") == \
+            parent.stream_index("tiny-road")
+        assert nested.matrix("tiny-road") == parent.matrix("tiny-road")
+
+    def test_subset_preserves_kernel_rng_streams(self):
+        import numpy as np
+
+        parent = small_suite()
+        subset = small_suite().subset(["tiny-road"])
+        for salt in (101, 211, 307):
+            np.testing.assert_array_equal(
+                subset.kernel_rng("tiny-road", salt).uniform(size=8),
+                parent.kernel_rng("tiny-road", salt).uniform(size=8))
+
+    def test_subset_descriptors_match_full_suite(self):
+        # End to end: dense kernel factors (which consume kernel_rng) built
+        # from a subset are bit-identical to the full suite's.
+        import numpy as np
+
+        from repro.model.workload import WorkloadDescriptor
+
+        full = WorkloadDescriptor.from_suite(
+            small_suite(), "tiny-social", kernel="spmm")
+        sub = WorkloadDescriptor.from_suite(
+            small_suite().subset(["tiny-social"]), "tiny-social", kernel="spmm")
+        np.testing.assert_array_equal(full.workload.b_dense,
+                                      sub.workload.b_dense)
+
+    def test_synth_subset_preserves_streams(self):
+        from repro.tensor.suite import synth_suite
+
+        specs = ["uniform:n=120,nnz=700", "banded:n=130"]
+        parent = synth_suite(specs)
+        subset = synth_suite(specs).subset([parent.names[1]])
+        assert subset.matrix(parent.names[1]) == parent.matrix(parent.names[1])
+
+    def test_explicit_stream_indices_override_positions(self):
+        suite = small_suite()
+        shifted = WorkloadSuite(
+            [suite.spec(n) for n in suite.names], seed=suite.seed,
+            stream_indices={"tiny-fem": 2, "tiny-road": 0})
+        # tiny-fem now draws tiny-road's original stream and vice versa;
+        # tiny-social (index 1) is untouched.
+        assert shifted.matrix("tiny-social") == suite.matrix("tiny-social")
+        assert shifted.matrix("tiny-fem") != suite.matrix("tiny-fem")
+
+    def test_stream_indices_for_unknown_workload_rejected(self, test_suite):
+        with pytest.raises(KeyError, match="unknown workloads"):
+            WorkloadSuite([test_suite.spec("tiny-fem")],
+                          stream_indices={"missing": 3})

@@ -1,0 +1,228 @@
+"""Tests for the sparsity-model registry (:mod:`repro.tensor.synth`)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.tensor import synth
+from repro.tensor.suite import suite_from_token, synth_suite
+from repro.tensor.synth import (
+    SynthSpec,
+    get_model,
+    model_names,
+    parse_synth_spec,
+    spec_from_token,
+    specs_by_workload_name,
+    tile_occupancy_cv,
+)
+
+
+class TestRegistry:
+    def test_expected_models_registered(self):
+        assert set(model_names()) == {
+            "uniform", "banded", "block_diagonal", "power_law_rows",
+            "density_gradient"}
+
+    def test_unknown_model_raises_with_hint(self):
+        with pytest.raises(KeyError, match="uniform"):
+            get_model("rmat")
+
+    def test_defaults_are_canonical(self):
+        for name in model_names():
+            defaults = get_model(name).defaults
+            assert list(defaults) == sorted(defaults)
+
+    def test_every_model_builds_a_matrix(self):
+        for name in model_names():
+            spec = SynthSpec(name)
+            matrix = spec.build(np.random.default_rng(0))
+            assert matrix.nnz > 0
+            assert matrix.num_rows > 0
+
+
+class TestSynthSpec:
+    def test_params_resolved_and_sorted(self):
+        spec = SynthSpec("uniform", (("nnz", 500), ("n", 100)))
+        assert spec.params == (("n", 100), ("nnz", 500))
+
+    def test_defaults_fill_missing_params(self):
+        spec = SynthSpec("power_law_rows", (("alpha", 2.2),))
+        assert dict(spec.params)["n"] == 900
+
+    def test_explicit_default_equals_implicit(self):
+        assert SynthSpec("uniform", (("n", 900),)) == SynthSpec("uniform")
+
+    def test_values_coerced_to_default_types(self):
+        spec = SynthSpec("uniform", (("n", 100.0), ("nnz", "500")))
+        assert dict(spec.params)["n"] == 100
+        assert isinstance(dict(spec.params)["n"], int)
+        assert dict(spec.params)["nnz"] == 500
+
+    def test_unknown_param_raises_with_hint(self):
+        with pytest.raises(KeyError, match="nnz"):
+            SynthSpec("uniform", (("density", 0.1),))
+
+    def test_non_numeric_param_raises(self):
+        with pytest.raises(ValueError, match="expects int"):
+            SynthSpec("uniform", (("n", "lots"),))
+
+    def test_workload_name_omits_defaults(self):
+        assert SynthSpec("banded").workload_name == "banded"
+        named = SynthSpec("banded", (("bandwidth", 24),))
+        assert named.workload_name == "banded[bandwidth=24]"
+
+    def test_token_round_trips(self):
+        spec = SynthSpec("density_gradient", (("gamma", 3.0), ("n", 400)))
+        assert spec_from_token(spec.token) == spec
+
+    def test_token_is_picklable_and_hashable(self):
+        spec = SynthSpec("block_diagonal", (("block_size", 32),))
+        assert pickle.loads(pickle.dumps(spec.token)) == spec.token
+        assert hash(spec.token) == hash(spec.token)
+
+    def test_build_reproducible_from_identity(self):
+        spec = SynthSpec("power_law_rows", (("n", 300), ("nnz", 2500)))
+        a = spec.build(np.random.default_rng(11))
+        b = spec_from_token(spec.token).build(np.random.default_rng(11))
+        assert a == b
+
+    def test_workload_spec_metadata(self):
+        spec = SynthSpec("uniform", (("n", 100), ("nnz", 500)))
+        workload = spec.workload_spec()
+        assert workload.category == "synthetic"
+        assert workload.paper_rows == 100
+        assert workload.paper_sparsity == pytest.approx(1.0 - 500 / 100 ** 2)
+
+
+class TestParse:
+    def test_model_only(self):
+        assert parse_synth_spec("uniform") == SynthSpec("uniform")
+
+    def test_model_with_params(self):
+        spec = parse_synth_spec("power_law_rows:n=300, nnz=2500,alpha=1.8")
+        assert dict(spec.params)["n"] == 300
+        assert dict(spec.params)["alpha"] == 1.8
+
+    def test_round_trips_through_label(self):
+        spec = parse_synth_spec("banded:bandwidth=24,band_fill=0.9")
+        again = parse_synth_spec(f"banded:{spec.params_label}")
+        assert again == spec
+
+    @pytest.mark.parametrize("text", ["", ":n=3", "uniform:n", "uniform:=3",
+                                      "uniform:n=abc", "uniform:n==3"])
+    def test_malformed_specs_raise(self, text):
+        with pytest.raises((ValueError, KeyError)):
+            parse_synth_spec(text)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            parse_synth_spec("rmat:n=100")
+
+
+class TestSynthSuite:
+    def test_strings_and_specs_mix(self):
+        suite = synth_suite(["uniform:n=120,nnz=600",
+                             SynthSpec("banded", (("n", 150),))])
+        assert suite.names == ["uniform[n=120,nnz=600]", "banded[n=150]"]
+
+    def test_empty_specs_raise(self):
+        with pytest.raises(ValueError, match="at least one"):
+            synth_suite([])
+
+    def test_duplicate_specs_raise(self):
+        with pytest.raises(ValueError, match="distinct"):
+            synth_suite(["uniform", "uniform:n=900"])
+
+    def test_same_identity_same_matrix(self):
+        a = synth_suite(["power_law_rows:n=250,nnz=2000"], seed=7)
+        b = synth_suite(["power_law_rows:n=250,nnz=2000"], seed=7)
+        name = a.names[0]
+        assert a.matrix(name) == b.matrix(name)
+        assert np.array_equal(a.matrix(name).csr.indptr, b.matrix(name).csr.indptr)
+
+    def test_different_seed_different_matrix(self):
+        a = synth_suite(["uniform:n=200,nnz=1500"], seed=1)
+        b = synth_suite(["uniform:n=200,nnz=1500"], seed=2)
+        assert a.matrix(a.names[0]) != b.matrix(b.names[0])
+
+    def test_token_rebuild_is_bit_identical(self):
+        suite = synth_suite(["uniform:n=150,nnz=900",
+                             "density_gradient:n=180,nnz=1200"], seed=5)
+        rebuilt = suite_from_token(suite.cache_token)
+        assert rebuilt.names == suite.names
+        for name in suite.names:
+            left, right = suite.matrix(name), rebuilt.matrix(name)
+            assert left == right
+            assert np.array_equal(left.csr.indices, right.csr.indices)
+
+    def test_token_survives_pickling(self):
+        suite = synth_suite(["banded:n=160"], seed=9)
+        token = pickle.loads(pickle.dumps(suite.cache_token))
+        rebuilt = suite_from_token(token)
+        assert rebuilt.matrix(suite.names[0]) == suite.matrix(suite.names[0])
+
+    def test_subset_token_rebuilds_subset(self):
+        suite = synth_suite(["uniform:n=140,nnz=800", "banded:n=140"])
+        subset = suite.subset([suite.names[1]])
+        rebuilt = suite_from_token(subset.cache_token)
+        assert rebuilt.names == [suite.names[1]]
+        assert rebuilt.matrix(suite.names[1]) == suite.matrix(suite.names[1])
+
+    def test_paired_operand_is_distinct_same_model(self):
+        suite = synth_suite(["uniform:n=150,nnz=900"])
+        name = suite.names[0]
+        assert suite.paired_matrix(name) != suite.matrix(name)
+        assert suite.paired_matrix(name).num_rows == 150
+
+
+class TestSpecsByWorkloadName:
+    def test_maps_names_to_specs(self):
+        suite = synth_suite(["uniform:n=130,nnz=700", "banded"])
+        mapping = specs_by_workload_name(suite)
+        assert set(mapping) == set(suite.names)
+        assert mapping["banded"] == SynthSpec("banded")
+
+    def test_empty_for_canonical_and_custom_suites(self):
+        from repro.tensor.suite import small_suite
+
+        assert specs_by_workload_name(small_suite()) == {}
+        assert specs_by_workload_name(object()) == {}
+
+
+class TestTileOccupancyCv:
+    def test_gradient_is_more_skewed_than_uniform(self):
+        uniform = SynthSpec("uniform", (("n", 300), ("nnz", 3000)))
+        gradient = SynthSpec("density_gradient",
+                             (("n", 300), ("nnz", 3000), ("gamma", 3.0)))
+        cv_uniform = tile_occupancy_cv(uniform.build(np.random.default_rng(0)))
+        cv_gradient = tile_occupancy_cv(gradient.build(np.random.default_rng(0)))
+        assert cv_gradient > 2 * cv_uniform
+
+    def test_empty_matrix_is_zero(self):
+        from repro.tensor.sparse import SparseMatrix
+
+        empty = SparseMatrix(np.zeros((8, 8)), name="empty")
+        assert tile_occupancy_cv(empty) == 0.0
+
+
+def test_module_reexports():
+    assert synth.MODELS.keys() == set(model_names())
+
+
+class TestReviewRegressions:
+    def test_distinct_high_precision_floats_keep_distinct_names(self):
+        a = SynthSpec("power_law_rows", (("alpha", 1.2345678),))
+        b = SynthSpec("power_law_rows", (("alpha", 1.2345679),))
+        assert a.workload_name != b.workload_name
+        suite = synth_suite([a, b])  # must not collide
+        assert len(suite) == 2
+
+    def test_params_label_round_trip_is_lossless(self):
+        spec = SynthSpec("density_gradient", (("gamma", 1.2345678901),))
+        assert parse_synth_spec(
+            f"density_gradient:{spec.params_label}") == spec
+
+    def test_duplicate_parameter_keys_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_synth_spec("uniform:n=100,n=900")
