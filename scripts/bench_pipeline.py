@@ -14,7 +14,11 @@ performance trajectory to compare against.  Stages:
   context in a process pays, exercising the memoization layer);
 * ``parallel`` — the cold full-suite evaluation again, but pre-computed by
   the :mod:`repro.experiments.scheduler` worker pool at each worker count in
-  ``--workers-sweep`` (what ``python -m repro run --workers N`` pays).
+  ``--workers-sweep`` (what ``python -m repro run --workers N`` pays);
+* ``store`` — the persistent report store (:mod:`repro.experiments.store`):
+  a full-suite 3-target sweep evaluated cold *writing* a store, then the
+  same sweep on a cold process *reading* it (what ``--store``/``--resume``
+  pays), plus raw store write/load throughput in entries per second.
 
 Run with::
 
@@ -67,6 +71,55 @@ def _timed_parallel(workers: int) -> float:
     return _timed(run)
 
 
+def _bench_store() -> dict:
+    """Cold-vs-warm-store sweep wall time + raw store throughput."""
+    import tempfile
+
+    from repro.experiments.store import ReportStore
+    from repro.experiments.sweep import sweep_grid
+
+    y_values = (0.05, 0.10, 0.22)
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        store_dir = Path(tmp) / "store"
+
+        clear_process_caches()
+        store = ReportStore(store_dir)
+        start = time.perf_counter()
+        sweep_grid(ExperimentContext.full().suite, y_values=y_values,
+                   max_workers=1, store=store)
+        cold = time.perf_counter() - start
+
+        clear_process_caches()  # "fresh process": memo gone, store remains
+        warm_store = ReportStore(store_dir)
+        start = time.perf_counter()
+        result = sweep_grid(ExperimentContext.full().suite, y_values=y_values,
+                            max_workers=1, store=warm_store, resume=True)
+        warm = time.perf_counter() - start
+        assert result.schedule.computed == 0, "warm-store sweep re-evaluated"
+
+        # Raw store-hit throughput: load every entry back repeatedly.
+        clear_process_caches()
+        reader = ReportStore(store_dir)
+        context = ExperimentContext.full()
+        keys = [context.memo_key(name) for name in context.workload_names]
+        rounds = 5
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for key in keys:
+                assert reader.load(key) is not None
+        load_seconds = time.perf_counter() - start
+        loads = rounds * len(keys)
+
+    return {
+        "sweep_cells": result.schedule.unique,
+        "sweep_cold_write_seconds": round(cold, 4),
+        "sweep_warm_store_seconds": round(warm, 4),
+        "warm_vs_cold_speedup": round(cold / warm, 2),
+        "store_hit_entries_per_second": round(loads / load_seconds, 1),
+        "store_hit_reports_per_second": round(3 * loads / load_seconds, 1),
+    }
+
+
 def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
@@ -100,6 +153,8 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         }
         parallel_note = f"measured on {cpu_count} cores"
 
+    store = _bench_store()
+
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -115,6 +170,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         },
         "parallel_cold_seconds_by_workers": parallel,
         "parallel_note": parallel_note,
+        "store": store,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
     }
@@ -148,6 +204,11 @@ def main(argv=None) -> int:
             print(f"scheduler cold, {workers} worker(s): {seconds:.3f}s")
     else:
         print(f"worker sweep {result['parallel_note']}")
+    store = result["store"]
+    print(f"store: 3-target sweep cold {store['sweep_cold_write_seconds']:.3f}s"
+          f" -> warm-store {store['sweep_warm_store_seconds']:.3f}s "
+          f"({store['warm_vs_cold_speedup']:.1f}x); "
+          f"{store['store_hit_entries_per_second']:.0f} entry loads/s")
     print(f"wrote {args.output}")
     return 0
 

@@ -14,15 +14,30 @@ Subcommands
 
 ``sweep``
     Run a grid over the overbooking target ``y`` and GLB/PE capacity scaling
-    through the same scheduler, and write JSON + CSV artifacts.
+    through the same scheduler, and write JSON + CSV artifacts.  Existing
+    outputs are never overwritten without ``--force``; with ``--store DIR``
+    every grid cell is persisted as it completes, and ``--resume`` finishes
+    an interrupted grid recomputing only the missing cells.
 
-Both ``run`` and ``sweep`` take a kernel axis (``--kernel``; Gram SpMSpM,
-general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`) and can
-evaluate real MatrixMarket corpora (``--matrix path.mtx[.gz]``, repeatable)
-or seeded sparsity-model workloads (``--synth model:param=value,...``,
-repeatable; see :mod:`repro.tensor.synth`) instead of the built-in suites.
+``search``
+    Pareto design-space search: generationally expand a ``(y, GLB-scale,
+    PE-scale)`` grid, prune dominated configurations, and write the
+    traffic/energy frontier per kernel × workload (see
+    :mod:`repro.experiments.search`).
 
-Examples::
+``store``
+    Inspect (``store stats``) or garbage-collect (``store gc``) a persistent
+    report store directory (see :mod:`repro.experiments.store`).
+
+``run``, ``sweep`` and ``search`` take a kernel axis (``--kernel``; Gram
+SpMSpM, general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`),
+can evaluate real MatrixMarket corpora (``--matrix path.mtx[.gz]``,
+repeatable) or seeded sparsity-model workloads (``--synth
+model:param=value,...``, repeatable; see :mod:`repro.tensor.synth`) instead
+of the built-in suites, and accept ``--store DIR`` to serve/persist
+evaluations through the on-disk report store.
+
+Examples (the full reference with sample output lives in ``docs/CLI.md``)::
 
     python -m repro list
     python -m repro run --all
@@ -35,6 +50,11 @@ Examples::
     python -m repro sweep --y 0.05,0.10,0.22 --glb-scales 0.5,1.0
     python -m repro sweep --kernel gram,spmm,spmv --suite quick
     python -m repro sweep --synth uniform --synth banded:bandwidth=24
+    python -m repro sweep --suite quick --store .repro-store --resume
+    python -m repro run fig14 --quick --store .repro-store
+    python -m repro search --suite quick --generations 2 --store .repro-store
+    python -m repro store stats --store .repro-store
+    python -m repro store gc --store .repro-store
 """
 
 from __future__ import annotations
@@ -49,6 +69,8 @@ from typing import List, Optional
 from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import EvaluationScheduler
+from repro.experiments.search import format_frontier, search_frontier
+from repro.experiments.store import ReportStore, StoreError, format_stats
 from repro.experiments.sweep import format_summaries, sweep_grid
 from repro.tensor.kernels import kernel_names
 from repro.tensor.suite import corpus_suite, default_suite, small_suite, synth_suite
@@ -99,6 +121,22 @@ def _suite_label(args: argparse.Namespace) -> str:
     return args.suite
 
 
+def _store_for(args: argparse.Namespace) -> Optional[ReportStore]:
+    """Open the persistent report store when ``--store DIR`` was given."""
+    if getattr(args, "store", None) is None:
+        return None
+    return ReportStore(args.store)
+
+
+def _add_store_argument(parser: argparse.ArgumentParser, *,
+                        required: bool = False) -> None:
+    parser.add_argument("--store", type=Path, default=None, required=required,
+                        metavar="DIR",
+                        help="persistent report store directory: completed "
+                             "evaluations are served from it and new ones "
+                             "persisted to it (created on first use)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -143,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print results only, write nothing")
     run.add_argument("--quiet", action="store_true",
                      help="suppress experiment text output (artifacts only)")
+    _add_store_argument(run)
 
     sweep = subparsers.add_parser(
         "sweep", help="run a y / buffer-scaling grid, write JSON + CSV")
@@ -182,6 +221,75 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact directory (default: artifacts/)")
     sweep.add_argument("--no-artifacts", action="store_true",
                        help="print the summary only, write nothing")
+    sweep.add_argument("--force", action="store_true",
+                       help="overwrite existing sweep.json/sweep.csv outputs "
+                            "(without this, an existing output path is an "
+                            "error)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="finish an interrupted sweep: grid cells already "
+                            "in the store are not re-evaluated (requires "
+                            "--store; implies --force for the output files)")
+    _add_store_argument(sweep)
+
+    search = subparsers.add_parser(
+        "search", help="Pareto design-space search over (y, GLB, PE) "
+                       "configurations; writes frontier.json + frontier.csv")
+    search.add_argument("--y", type=_parse_floats, default=[0.05, 0.10, 0.22],
+                        metavar="Y1,Y2,...",
+                        help="seed overbooking-target axis "
+                             "(default: 0.05,0.10,0.22)")
+    search.add_argument("--glb-scales", type=_parse_floats,
+                        default=[0.5, 1.0, 2.0], metavar="S1,S2,...",
+                        help="seed GLB capacity scaling axis "
+                             "(default: 0.5,1.0,2.0)")
+    search.add_argument("--pe-scales", type=_parse_floats,
+                        default=[0.5, 1.0, 2.0], metavar="S1,S2,...",
+                        help="seed PE buffer scaling axis "
+                             "(default: 0.5,1.0,2.0)")
+    search.add_argument("--generations", type=int, default=3, metavar="N",
+                        help="search generations: the seed grid plus N-1 "
+                             "rounds of axis refinement around the frontier "
+                             "(default: 3)")
+    search.add_argument("--kernel", type=_parse_kernels, default=["gram"],
+                        metavar="K1,K2,...", dest="kernels",
+                        help="kernels searched (comma-separated; "
+                             f"known: {', '.join(kernel_names())}; "
+                             "default: gram)")
+    search.add_argument("--suite", choices=("full", "quick"), default="quick",
+                        help="workload suite (default: quick — the full "
+                             "suite times a large design space; use a store)")
+    search.add_argument("--matrix", action="append", type=Path, default=None,
+                        metavar="PATH.mtx[.gz]",
+                        help="search over real MatrixMarket matrices instead "
+                             "of a built-in suite (repeatable)")
+    search.add_argument("--synth", action="append", type=_parse_synth,
+                        default=None, metavar="MODEL[:K=V,...]",
+                        help="search over seeded sparsity-model workloads — "
+                             "the frontier is reported per model (repeatable; "
+                             f"models: {', '.join(model_names())})")
+    search.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                        help="restrict to a comma-separated workload subset")
+    search.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes (default: CPU count; "
+                             "1 = serial)")
+    search.add_argument("--output-dir", type=Path, default=Path("artifacts"),
+                        metavar="DIR",
+                        help="artifact directory (default: artifacts/)")
+    search.add_argument("--no-artifacts", action="store_true",
+                        help="print the frontier only, write nothing")
+    search.add_argument("--force", action="store_true",
+                        help="overwrite existing frontier.json/frontier.csv")
+    _add_store_argument(search)
+
+    store = subparsers.add_parser(
+        "store", help="inspect or garbage-collect a report store")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    stats = store_sub.add_parser(
+        "stats", help="scan the store: entries, bytes, kernels, schemas")
+    _add_store_argument(stats, required=True)
+    gc = store_sub.add_parser(
+        "gc", help="prune unreadable/old-schema entries and stale temp files")
+    _add_store_argument(gc, required=True)
     return parser
 
 
@@ -248,6 +356,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # budget as a parameter; thread --workers through so it is honored.
         if experiment.accepts_max_workers and args.workers is not None:
             params[experiment.name].setdefault("max_workers", args.workers)
+    store = _store_for(args)
+    if store is not None:
+        for experiment in selected:
+            # Same for the report store: self-scheduling experiments with a
+            # "reports" store scope take it as a parameter.
+            if experiment.accepts_store and experiment.store_scope == "reports":
+                params[experiment.name].setdefault("store", store)
     context = None
     if any(experiment.needs_context for experiment in selected):
         if args.matrix or args.synth:
@@ -260,15 +375,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 args.suite, overbooking_target=args.overbooking_target,
                 kernel=args.kernel)
 
-    scheduler = EvaluationScheduler(max_workers=args.workers)
+    scheduler = EvaluationScheduler(max_workers=args.workers, store=store)
     start = time.perf_counter()
     if context is not None:
         stats = scheduler.prefetch_experiments(context, selected, params)
         if stats.computed:
+            store_note = (f", {stats.store_hits} from the store"
+                          if stats.store_hits else "")
             print(f"[scheduler] {stats.unique} evaluations requested, "
-                  f"{stats.warm} warm, {stats.computed} computed on "
-                  f"{stats.workers} worker(s) in "
+                  f"{stats.warm} warm{store_note}, {stats.computed} computed "
+                  f"on {stats.workers} worker(s) in "
                   f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+        elif stats.store_hits:
+            print(f"[scheduler] all {stats.unique} evaluations served warm "
+                  f"({stats.store_hits} from the report store)",
+                  file=sys.stderr)
         else:
             print(f"[scheduler] all {stats.unique} evaluations served from "
                   f"the report memo", file=sys.stderr)
@@ -297,7 +418,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "kernel": effective_kernel(experiment),
                 "overbooking_target": (args.overbooking_target
                                        if experiment.needs_context else None),
-                "params": params[experiment.name],
+                # The store parameter is a live handle; record its path.
+                "params": {key: (str(value.root)
+                                 if isinstance(value, ReportStore) else value)
+                           for key, value in params[experiment.name].items()},
                 "seconds": round(elapsed, 4),
                 "result": experiment.to_json(result),
             }
@@ -322,11 +446,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_workload_subset(args: argparse.Namespace) -> Optional[List[str]]:
+    if not args.workloads:
+        return None
+    return [name.strip() for name in args.workloads.split(",") if name.strip()]
+
+
+def _check_outputs_writable(args: argparse.Namespace,
+                            filenames: List[str]) -> Optional[str]:
+    """Refuse-before-computing: the path that would be clobbered, or None."""
+    overwrite_ok = args.force or getattr(args, "resume", False)
+    if args.no_artifacts or overwrite_ok:
+        return None
+    for filename in filenames:
+        path = args.output_dir / filename
+        if path.exists():
+            return str(path)
+    return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    workloads = None
-    if args.workloads:
-        workloads = [name.strip() for name in args.workloads.split(",")
-                     if name.strip()]
+    if args.resume and args.store is None:
+        print("error: --resume requires --store (there is nothing to resume "
+              "from without a persistent store)", file=sys.stderr)
+        return 2
+    clobbered = _check_outputs_writable(args, ["sweep.json", "sweep.csv"])
+    if clobbered is not None:
+        print(f"error: {clobbered} already exists; pass --force to overwrite "
+              f"it (or --resume to finish an interrupted sweep)",
+              file=sys.stderr)
+        return 2
+
     start = time.perf_counter()
     result = sweep_grid(
         _suite_for(args),
@@ -334,25 +484,92 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         glb_scales=args.glb_scales,
         pe_scales=args.pe_scales,
         kernels=args.kernels,
-        workloads=workloads,
+        workloads=_parse_workload_subset(args),
         max_workers=args.workers,
+        store=_store_for(args),
+        resume=args.resume,
     )
     print(format_summaries(result))
+    resumed = (f" ({result.schedule.store_hits} cell(s) resumed from the "
+               f"store)" if result.schedule.store_hits else "")
     print(f"\nsweep of {len(result.points)} point(s) finished in "
-          f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+          f"{time.perf_counter() - start:.2f}s{resumed}", file=sys.stderr)
 
     if not args.no_artifacts:
         args.output_dir.mkdir(parents=True, exist_ok=True)
-        json_path = result.write_json(args.output_dir / "sweep.json")
-        csv_path = result.write_csv(args.output_dir / "sweep.csv")
+        force = args.force or args.resume
+        json_path = result.write_json(args.output_dir / "sweep.json",
+                                      force=force)
+        csv_path = result.write_csv(args.output_dir / "sweep.csv",
+                                    force=force)
         print(f"wrote {json_path} and {csv_path}", file=sys.stderr)
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    clobbered = _check_outputs_writable(args, ["frontier.json", "frontier.csv"])
+    if clobbered is not None:
+        print(f"error: {clobbered} already exists; pass --force to overwrite",
+              file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    result = search_frontier(
+        _suite_for(args),
+        kernels=args.kernels,
+        y_values=args.y,
+        glb_scales=args.glb_scales,
+        pe_scales=args.pe_scales,
+        max_generations=args.generations,
+        workloads=_parse_workload_subset(args),
+        max_workers=args.workers,
+        store=_store_for(args),
+    )
+    print(format_frontier(result))
+    print(f"\nsearch evaluated {len(result.points)} design points over "
+          f"{len(result.generations)} generation(s) in "
+          f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+
+    if not args.no_artifacts:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        json_path = result.write_json(args.output_dir / "frontier.json",
+                                      force=args.force)
+        csv_path = result.write_csv(args.output_dir / "frontier.csv",
+                                    force=args.force)
+        print(f"wrote {json_path} and {csv_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    # gc must be able to open a store written under another schema — it is
+    # the tool that prunes such entries; stats checks the marker.  Neither
+    # creates a store: a mistyped path is an error, not a new empty store.
+    store = ReportStore(args.store, check_marker=args.store_command != "gc",
+                        create=False)
+    if args.store_command == "stats":
+        print(format_stats(store.stats(), root=store.root))
+        return 0
+    if args.store_command == "gc":
+        outcome = store.gc()
+        print(f"scanned {outcome.scanned} entr(ies): kept {outcome.kept}, "
+              f"removed {outcome.removed_entries} stale entr(ies) and "
+              f"{outcome.removed_temp_files} temp file(s), reclaimed "
+              f"{outcome.reclaimed_bytes / 1024:.1f} KiB")
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep}
-    return handlers[args.command](args)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
+                "search": _cmd_search, "store": _cmd_store}
+    try:
+        return handlers[args.command](args)
+    except StoreError as error:
+        # Schema mismatches, corrupt entries, missing stores: user-facing
+        # conditions with actionable messages, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -18,12 +18,21 @@ The moving parts:
   many experiments/contexts, deduplicates them against the process-wide
   report memo, and fans the cold ones out over worker processes.
 * :mod:`~repro.experiments.sweep` — grids over the overbooking target and
-  buffer scaling, run through the scheduler, serialized to JSON/CSV.
+  buffer scaling, run through the scheduler, serialized to JSON/CSV; with a
+  store attached, durable and resumable (``--resume``).
+* :mod:`~repro.experiments.store` — the content-addressed on-disk report
+  store: every evaluation persisted once, served forever (atomic writes,
+  versioned schema, ``store stats`` / ``store gc``).
+* :mod:`~repro.experiments.search` — generational Pareto design-space
+  search over ``(y, GLB, PE)`` configurations, pruning dominated
+  configurations between generations.
 
 ``python -m repro`` (:mod:`repro.cli`) drives all of this from the command
-line; the experiment modules (``fig1`` … ``fig13``, ``table1``/``table2``)
-keep their importable ``run(context)`` / ``format_result(result)`` API for
-direct use.
+line; the experiment modules (``fig1`` … ``fig14``, ``table1`` …
+``table4``) keep their importable ``run(context)`` /
+``format_result(result)`` API for direct use.  ``docs/ARCHITECTURE.md``
+walks through how the layers fit together; ``docs/CLI.md`` is the command
+reference.
 """
 
 from repro.experiments.runner import ExperimentContext, clear_process_caches

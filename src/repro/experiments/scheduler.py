@@ -19,6 +19,13 @@ that into a batch problem:
    process-wide memo, so the experiments afterwards run serially against warm
    caches.
 
+When constructed with a :class:`~repro.experiments.store.ReportStore`, the
+scheduler adds a *durable* tier between steps 2 and 3: cold requests are
+first looked up in the on-disk store (a hit is merged into the memo without
+any evaluation), and every freshly computed request is persisted the moment
+its reports arrive — one atomic file per request — so an interrupted batch
+leaves everything it finished on disk for the next run to resume from.
+
 Evaluation is a deterministic function of the request (seeded generators end
 to end), so the merged reports are identical to what serial execution would
 have produced — ``tests/experiments/test_scheduler.py`` pins that down to
@@ -66,13 +73,20 @@ class EvaluationRequest:
 
 @dataclass(frozen=True)
 class ScheduleStats:
-    """What a :meth:`EvaluationScheduler.prefetch` call actually did."""
+    """What a :meth:`EvaluationScheduler.prefetch` call actually did.
+
+    ``warm`` counts in-process memo hits; ``store_hits`` counts requests
+    served from the on-disk report store (when one is attached) and
+    ``store_writes`` the freshly computed requests persisted to it.
+    """
 
     requested: int
     unique: int
     warm: int
     computed: int
     workers: int
+    store_hits: int = 0
+    store_writes: int = 0
 
 
 def requests_for_context(
@@ -175,14 +189,20 @@ class EvaluationScheduler:
     min_parallel_requests:
         Below this many cold requests the pool start-up cost outweighs the
         win; they are evaluated in-process instead.
+    store:
+        Optional :class:`~repro.experiments.store.ReportStore`.  Cold
+        requests are looked up in it before any evaluation happens, and
+        computed reports are persisted to it as they complete (making the
+        batch resumable after a crash).
     """
 
     def __init__(self, max_workers: Optional[int] = None, *,
-                 min_parallel_requests: int = 4):
+                 min_parallel_requests: int = 4, store=None):
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         self.max_workers = max(1, int(max_workers))
         self.min_parallel_requests = max(1, int(min_parallel_requests))
+        self.store = store
 
     # ------------------------------------------------------------------ #
     def prefetch(self, requests: Sequence[EvaluationRequest]) -> ScheduleStats:
@@ -201,31 +221,51 @@ class EvaluationScheduler:
                     "suites must be evaluated in-process via their context")
             unique.setdefault(request.memo_key, request)
 
-        cold = [request for key, request in unique.items()
-                if memoized_reports(key) is None]
+        store_hits = 0
+        cold = []
+        for key, request in unique.items():
+            if memoized_reports(key) is not None:
+                continue
+            if self.store is not None:
+                loaded = self.store.load(key)
+                if loaded is not None:
+                    store_memoized_reports(key, loaded)
+                    store_hits += 1
+                    continue
+            cold.append(request)
         # Group same-workload requests (which share tilings at equal
         # capacities) so chunking keeps them on one worker.
         cold.sort(key=lambda r: (r.workload, r.kernel, r.overbooking_target))
+
+        def merge(request: EvaluationRequest,
+                  reports: Dict[str, PerformanceReport]) -> None:
+            store_memoized_reports(request.memo_key, reports)
+            if self.store is not None:
+                # Persist immediately (one atomic file per request), so an
+                # interrupted batch keeps everything it finished.
+                self.store.store(request.memo_key, reports)
 
         workers = min(self.max_workers, len(cold))
         if workers <= 1 or len(cold) < self.min_parallel_requests:
             for request in cold:
                 _, reports = _evaluate_request(request)
-                store_memoized_reports(request.memo_key, reports)
+                merge(request, reports)
             workers = min(workers, 1)
         else:
             chunksize = max(1, -(-len(cold) // (workers * 4)))
             with ProcessPoolExecutor(max_workers=workers) as executor:
                 for request, reports in executor.map(
                         _evaluate_request, cold, chunksize=chunksize):
-                    store_memoized_reports(request.memo_key, reports)
+                    merge(request, reports)
 
         return ScheduleStats(
             requested=len(requests),
             unique=len(unique),
-            warm=len(unique) - len(cold),
+            warm=len(unique) - len(cold) - store_hits,
             computed=len(cold),
             workers=workers,
+            store_hits=store_hits,
+            store_writes=len(cold) if self.store is not None else 0,
         )
 
     def prefetch_context(

@@ -1,0 +1,407 @@
+"""Pareto design-space search: expand a buffer-geometry grid, keep the frontier.
+
+The paper's question — *when does overbooking buffer capacity beat worst-case
+provisioning?* — is at heart a design-space trade-off: a configuration
+``(overbooking target y, GLB capacity scale, PE buffer scale)`` buys lower
+DRAM traffic at some energy cost (or vice versa), and what's "best" depends
+on which objective you weight.  Rather than answer with one grid point, this
+module computes the **traffic/energy Pareto frontier** of the overbooking
+variant, per ``kernel × workload`` (and, for synthetic suites, per sparsity
+model):
+
+* :func:`search_frontier` runs a *generational* search.  Generation 0
+  evaluates the seed grid (every combination of the initial axis values)
+  through the same batched :class:`~repro.experiments.scheduler.
+  EvaluationScheduler` as every other experiment — one fan-out per
+  generation, store-aware and therefore resumable.
+* Between generations, dominated configurations are pruned: only
+  configurations that are Pareto-optimal for at least one ``(kernel,
+  workload)`` group survive, and the grid axes are *refined* around the
+  survivors (midpoints toward each immediate neighbor).  Regions of the
+  design space that no objective cares about are never evaluated densely.
+* The search stops when refinement proposes nothing new, when
+  ``max_generations`` is reached, or when ``max_evaluations`` would be
+  exceeded.
+
+The result records every evaluated design point (so the search is fully
+auditable), the per-group frontier, and per-generation statistics; the
+``fig14`` experiment and the CLI's ``search`` subcommand render and
+serialize it.  :func:`pareto_frontier` is the (deliberately simple) O(n²)
+non-domination filter — golden tests cross-check the search output against
+an independent brute-force sweep of the same space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerator.config import ArchitectureConfig, scaled_default_config
+from repro.experiments.registry import to_jsonable
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.scheduler import (
+    EvaluationScheduler,
+    ScheduleStats,
+    requests_for_context,
+)
+from repro.experiments.sweep import (
+    _refusing_overwrite,
+    _scaled_architecture,
+    _store_aware_scheduler,
+)
+from repro.tensor.suite import WorkloadSuite, synth_suite
+from repro.tensor.synth import specs_by_workload_name
+
+#: Seed axes of the default search: the paper's y ladder and halving/doubling
+#: of each buffer level.
+DEFAULT_Y_VALUES = (0.05, 0.10, 0.22)
+DEFAULT_GLB_SCALES = (0.5, 1.0, 2.0)
+DEFAULT_PE_SCALES = (0.5, 1.0, 2.0)
+
+#: Decimal places configurations are rounded to when axes are refined —
+#: keeps the search space finite and the signatures stable.
+_AXIS_DECIMALS = 6
+
+
+@dataclass(frozen=True)
+class DesignConfig:
+    """One candidate configuration of the search space."""
+
+    overbooking_target: float
+    glb_scale: float
+    pe_scale: float
+
+    @property
+    def label(self) -> str:
+        return (f"y={self.overbooking_target:.2%} "
+                f"glb×{self.glb_scale:g} pe×{self.pe_scale:g}")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated ``(kernel, workload, configuration)`` outcome.
+
+    The objectives the frontier minimizes are ``dram_words`` (total DRAM
+    traffic of the overbooking variant, the paper's Fig. 9 axis) and
+    ``energy_pj`` (its total energy); ``cycles`` and the overbooking rate
+    ride along for the reports.
+    """
+
+    kernel: str
+    workload: str
+    model: str
+    model_params: str
+    config: DesignConfig
+    glb_capacity_words: int
+    pe_buffer_capacity_words: int
+    generation: int
+    cycles: float
+    energy_pj: float
+    dram_words: float
+    glb_overbooking_rate: float
+
+    @property
+    def objectives(self) -> Tuple[float, float]:
+        """The minimized objective vector: (DRAM words, energy pJ)."""
+        return (self.dram_words, self.energy_pj)
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """What one generation of the search did."""
+
+    generation: int
+    evaluated_configs: int
+    total_configs: int
+    frontier_size: int
+    schedule: ScheduleStats
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """Everything :func:`search_frontier` found."""
+
+    kernels: List[str]
+    workloads: List[str]
+    base_architecture: str
+    points: List[DesignPoint]
+    frontier: List[DesignPoint]
+    generations: List[GenerationStats]
+
+    def frontier_for(self, kernel: str, workload: str) -> List[DesignPoint]:
+        """The non-dominated set of one ``(kernel, workload)`` group."""
+        return [point for point in self.frontier
+                if point.kernel == kernel and point.workload == workload]
+
+    def to_jsonable(self) -> dict:
+        """Deterministic JSON payload (generation schedules excluded —
+        like :meth:`~repro.experiments.sweep.SweepResult.to_jsonable`, the
+        warm/cold split varies between resumed and fresh runs)."""
+        payload = to_jsonable(self)
+        payload.pop("generations", None)
+        return payload
+
+    def write_json(self, path, *, force: bool = False):
+        import json
+
+        path = _refusing_overwrite(path, force)
+        path.write_text(json.dumps(self.to_jsonable(), indent=2) + "\n")
+        return path
+
+    def write_csv(self, path, *, force: bool = False):
+        import csv
+
+        path = _refusing_overwrite(path, force)
+        columns = ("kernel", "workload", "model", "model_params",
+                   "overbooking_target", "glb_scale", "pe_scale",
+                   "glb_capacity_words", "pe_buffer_capacity_words",
+                   "generation", "cycles", "energy_pj", "dram_words",
+                   "glb_overbooking_rate", "on_frontier")
+        # Each (kernel, workload, config) is evaluated exactly once, so the
+        # triple is the point's identity (robust to copies, unlike id()).
+        frontier = {(point.kernel, point.workload, point.config)
+                    for point in self.frontier}
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(columns)
+            for point in self.points:
+                writer.writerow([
+                    point.kernel, point.workload, point.model,
+                    point.model_params, point.config.overbooking_target,
+                    point.config.glb_scale, point.config.pe_scale,
+                    point.glb_capacity_words, point.pe_buffer_capacity_words,
+                    point.generation, point.cycles, point.energy_pj,
+                    point.dram_words, point.glb_overbooking_rate,
+                    int((point.kernel, point.workload, point.config)
+                        in frontier),
+                ])
+        return path
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimization):
+    no worse in every objective and strictly better in at least one."""
+    return (all(x <= y for x, y in zip(a, b))
+            and any(x < y for x, y in zip(a, b)))
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The non-dominated subset of ``points`` (one homogeneous group).
+
+    O(n²) by design — the grids here are hundreds of points, and the simple
+    quadratic filter is trivially auditable (the golden tests re-derive it
+    independently).  Ties on the full objective vector keep the first point
+    in input order, so the result is deterministic.
+    """
+    frontier: List[DesignPoint] = []
+    seen_objectives = set()
+    for candidate in points:
+        if candidate.objectives in seen_objectives:
+            continue
+        if any(dominates(other.objectives, candidate.objectives)
+               for other in points):
+            continue
+        seen_objectives.add(candidate.objectives)
+        frontier.append(candidate)
+    return frontier
+
+
+def _round(value: float) -> float:
+    return round(float(value), _AXIS_DECIMALS)
+
+
+def _refined_axis(values: List[float], survivors: set) -> List[float]:
+    """Refine one axis around surviving values: midpoints to each neighbor."""
+    ordered = sorted(values)
+    proposals = set(ordered)
+    for index, value in enumerate(ordered):
+        if value not in survivors:
+            continue
+        if index > 0:
+            proposals.add(_round((value + ordered[index - 1]) / 2.0))
+        if index + 1 < len(ordered):
+            proposals.add(_round((value + ordered[index + 1]) / 2.0))
+    return sorted(proposals)
+
+
+def search_frontier(suite: Optional[WorkloadSuite] = None, *,
+                    synth: Optional[Sequence] = None,
+                    kernels: Sequence[str] = ("gram",),
+                    y_values: Sequence[float] = DEFAULT_Y_VALUES,
+                    glb_scales: Sequence[float] = DEFAULT_GLB_SCALES,
+                    pe_scales: Sequence[float] = DEFAULT_PE_SCALES,
+                    max_generations: int = 3,
+                    max_evaluations: int = 2000,
+                    base_architecture: Optional[ArchitectureConfig] = None,
+                    workloads: Optional[Sequence[str]] = None,
+                    scheduler: Optional[EvaluationScheduler] = None,
+                    max_workers: Optional[int] = None,
+                    store=None) -> FrontierResult:
+    """Generationally explore the ``(y, GLB, PE)`` space, keep the frontier.
+
+    Parameters mirror :func:`~repro.experiments.sweep.sweep_grid` where they
+    overlap (``suite``/``synth``/``kernels``/``workloads``/``store``); the
+    search-specific knobs are the seed axes (``y_values``, ``glb_scales``,
+    ``pe_scales``), ``max_generations`` (generation 0 is the seed grid; each
+    further generation refines the axes around the current frontier and
+    prunes dominated configurations), and ``max_evaluations``, a hard cap on
+    scheduled ``(kernel, workload, config)`` evaluations.
+
+    Returns a :class:`FrontierResult`; ``result.frontier`` is the union of
+    the per-``(kernel, workload)`` non-dominated sets over *all* evaluated
+    generations, verified against every evaluated point.
+    """
+    if synth is not None:
+        if suite is not None:
+            raise ValueError("pass either a suite or synth specs, not both")
+        suite = synth_suite(synth)
+    elif suite is None:
+        raise ValueError("search_frontier needs a suite (or synth specs)")
+    if not kernels:
+        raise ValueError("kernels must not be empty")
+    if not (y_values and glb_scales and pe_scales):
+        raise ValueError("every search axis needs at least one seed value")
+    if max_generations < 1:
+        raise ValueError("max_generations must be >= 1")
+    if workloads is not None:
+        suite = suite.subset(list(workloads))
+    synth_specs = specs_by_workload_name(suite)
+    base = base_architecture or scaled_default_config()
+    scheduler = _store_aware_scheduler(scheduler, store, max_workers)
+
+    axes = {
+        "y": sorted(_round(y) for y in y_values),
+        "glb": sorted(_round(s) for s in glb_scales),
+        "pe": sorted(_round(s) for s in pe_scales),
+    }
+    kernels = [str(kernel) for kernel in kernels]
+
+    evaluated: Dict[DesignConfig, List[DesignPoint]] = {}
+    generations: List[GenerationStats] = []
+    points: List[DesignPoint] = []
+
+    def grid_configs() -> List[DesignConfig]:
+        return [DesignConfig(y, glb, pe)
+                for y in axes["y"] for glb in axes["glb"] for pe in axes["pe"]]
+
+    def current_frontier() -> List[DesignPoint]:
+        groups: Dict[Tuple[str, str], List[DesignPoint]] = {}
+        for point in points:
+            groups.setdefault((point.kernel, point.workload), []).append(point)
+        frontier: List[DesignPoint] = []
+        for key in sorted(groups):
+            frontier.extend(pareto_frontier(groups[key]))
+        return frontier
+
+    for generation in range(max_generations):
+        pending = [config for config in grid_configs()
+                   if config not in evaluated]
+        budget_left = max_evaluations - sum(
+            len(group) for group in evaluated.values())
+        if budget_left < len(pending) * len(kernels) * len(suite.names):
+            pending = pending[:max(
+                0, budget_left // max(1, len(kernels) * len(suite.names)))]
+        if not pending:
+            break
+
+        # One batched, store-aware fan-out for the whole generation.
+        contexts: Dict[Tuple[str, DesignConfig], ExperimentContext] = {}
+        requests = []
+        for config in pending:
+            architecture = _scaled_architecture(
+                base, config.glb_scale, config.pe_scale)
+            for kernel in kernels:
+                context = ExperimentContext(
+                    suite=suite, architecture=architecture,
+                    overbooking_target=config.overbooking_target,
+                    kernel=kernel)
+                contexts[(kernel, config)] = context
+                requests.extend(requests_for_context(context))
+        stats = scheduler.prefetch(requests)
+
+        for config in pending:
+            evaluated[config] = []
+            for kernel in kernels:
+                context = contexts[(kernel, config)]
+                for name in context.workload_names:
+                    reports = context.reports(name)
+                    overbooking = reports[context.overbooking_name]
+                    spec = synth_specs.get(name)
+                    point = DesignPoint(
+                        kernel=kernel,
+                        workload=name,
+                        model=spec.model if spec is not None else "",
+                        model_params=(spec.params_label
+                                      if spec is not None else ""),
+                        config=config,
+                        glb_capacity_words=context.architecture.glb_capacity_words,
+                        pe_buffer_capacity_words=(
+                            context.architecture.pe_buffer_capacity_words),
+                        generation=generation,
+                        cycles=overbooking.cycles,
+                        energy_pj=overbooking.total_energy_pj,
+                        dram_words=overbooking.dram_words,
+                        glb_overbooking_rate=overbooking.glb_overbooking_rate,
+                    )
+                    evaluated[config].append(point)
+                    points.append(point)
+
+        frontier = current_frontier()
+        generations.append(GenerationStats(
+            generation=generation,
+            evaluated_configs=len(pending),
+            total_configs=len(evaluated),
+            frontier_size=len(frontier),
+            schedule=stats,
+        ))
+
+        if generation + 1 >= max_generations:
+            break
+        # Prune: only configurations on some group's frontier seed the next
+        # generation's axis refinement; dominated regions are not expanded.
+        survivors = {point.config for point in frontier}
+        axes = {
+            "y": _refined_axis(
+                axes["y"], {c.overbooking_target for c in survivors}),
+            "glb": _refined_axis(
+                axes["glb"], {c.glb_scale for c in survivors}),
+            "pe": _refined_axis(
+                axes["pe"], {c.pe_scale for c in survivors}),
+        }
+
+    return FrontierResult(
+        kernels=list(kernels),
+        workloads=list(suite.names),
+        base_architecture=base.name,
+        points=points,
+        frontier=current_frontier(),
+        generations=generations,
+    )
+
+
+def format_frontier(result: FrontierResult) -> str:
+    """Plain-text rendering of the frontier (one block per kernel×workload)."""
+    from repro.utils.text import format_table
+
+    rows = []
+    for point in result.frontier:
+        rows.append((
+            point.kernel,
+            point.model or point.workload,
+            point.config.label,
+            f"{point.dram_words:,.0f}",
+            f"{point.energy_pj:,.0f}",
+            f"{point.cycles:,.0f}",
+            f"{point.glb_overbooking_rate:.1%}",
+        ))
+    evaluated = len(result.points)
+    gens = len(result.generations)
+    return format_table(
+        ["kernel", "workload", "config", "DRAM words", "energy pJ",
+         "cycles", "GLB overbook"],
+        rows,
+        title=(f"Traffic/energy Pareto frontier — {len(result.frontier)} "
+               f"non-dominated of {evaluated} evaluated points "
+               f"({gens} generation(s), objectives minimized: DRAM words, "
+               f"energy)"),
+    )

@@ -1,0 +1,494 @@
+"""Content-addressed on-disk report store: durable, resumable evaluation.
+
+Every evaluation in this codebase is a *pure function* of its identity — the
+``(suite token, architecture, overbooking target, kernel, workload)`` tuple
+that already keys the process-wide report memo and the scheduler's
+:class:`~repro.experiments.scheduler.EvaluationRequest`.  The memo makes
+repeated contexts free *within* a process; this module makes them free
+*across* processes and crashes:
+
+* **Content-addressed layout.**  Each entry lives at
+  ``<root>/objects/<aa>/<digest>.json`` where ``digest`` is the SHA-256 of
+  the canonical JSON encoding of the evaluation identity.  Two runs that
+  evaluate the same thing — today, tomorrow, on another machine with the
+  same seeds — address the same file; nothing is ever stored twice.
+* **Atomic writes.**  Entries are written to a unique temporary file in the
+  same directory and published with :func:`os.replace`, so concurrent
+  writers (scheduler workers, parallel sweeps sharing one store) can race on
+  the same key and readers never observe a torn file.  Last writer wins with
+  bit-identical content, because the content is a function of the key.
+* **Versioned schema.**  Entries and the store marker both carry
+  ``schema_version``; loading an entry written under a different schema
+  raises :class:`StoreSchemaError` instead of silently misreading it
+  (``python -m repro store gc`` prunes such entries).
+* **Exact round-trips.**  Reports serialize field-by-field with Python's
+  shortest-repr float encoding, so ``report -> disk -> report`` reproduces
+  every float bit-for-bit — golden tests pin the round-trip to 1e-9 and the
+  resumable sweep relies on it for byte-identical artifacts.
+
+The scheduler consults the store before dispatching work and persists each
+request's reports the moment they arrive (see
+:meth:`~repro.experiments.scheduler.EvaluationScheduler.prefetch`), which is
+what makes ``python -m repro sweep --store DIR --resume`` recompute only the
+grid cells a crashed run never finished.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.accelerator.config import ArchitectureConfig
+from repro.energy.accelergy import EnergyReport
+from repro.model.stats import PerformanceReport, TrafficBreakdown
+from repro.model.traffic import LevelTraffic
+
+#: Bump when the entry layout (key payload or report encoding) changes in a
+#: way old readers would misinterpret.  ``store gc`` prunes mismatched
+#: entries; ``load`` refuses them.
+SCHEMA_VERSION = 1
+
+#: Name of the store marker file at the store root.
+MARKER_NAME = "store.json"
+
+#: Subdirectory holding the content-addressed entries.
+OBJECTS_DIR = "objects"
+
+#: Subdirectory holding sweep/search run manifests (see repro.experiments.sweep).
+MANIFESTS_DIR = "manifests"
+
+
+class StoreError(RuntimeError):
+    """Base class for report-store failures."""
+
+
+class StoreSchemaError(StoreError):
+    """An entry (or the store itself) was written under another schema."""
+
+
+# --------------------------------------------------------------------- #
+# Canonical key encoding
+# --------------------------------------------------------------------- #
+def _plain(value):
+    """Recursively convert a memo-key component into plain JSON-able data."""
+    if isinstance(value, ArchitectureConfig):
+        return {"__architecture__": dataclasses.asdict(value)}
+    if isinstance(value, (tuple, list)):
+        return [_plain(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot canonicalize key component {value!r} "
+                    f"of type {type(value).__name__}")
+
+
+def key_payload(memo_key: tuple) -> dict:
+    """The canonical JSON payload of an evaluation identity.
+
+    ``memo_key`` is the 5-tuple the report memo and the scheduler use:
+    ``(suite token, architecture, overbooking target, kernel, workload)``.
+    The payload is what gets hashed for the entry path and recorded inside
+    the entry for inspection (``store stats``) and garbage collection.
+    """
+    suite_token, architecture, target, kernel, workload = memo_key
+    return {
+        "suite_token": _plain(suite_token),
+        "architecture": dataclasses.asdict(architecture),
+        "overbooking_target": float(target),
+        "kernel": str(kernel),
+        "workload": str(workload),
+    }
+
+
+def key_digest(memo_key: tuple) -> str:
+    """SHA-256 content address of an evaluation identity (hex)."""
+    canonical = json.dumps(key_payload(memo_key), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Report (de)serialization — exact float round-trips
+# --------------------------------------------------------------------- #
+def encode_report(report: PerformanceReport) -> dict:
+    """Encode one report as plain JSON data (floats via shortest repr)."""
+    return {
+        "workload": report.workload,
+        "variant": report.variant,
+        "cycles": float(report.cycles),
+        "energy": {key: float(value)
+                   for key, value in report.energy.per_component_pj.items()},
+        "traffic": {
+            level_name: {
+                "level": level.level,
+                "stationary_reads": float(level.stationary_reads),
+                "stationary_baseline": float(level.stationary_baseline),
+                "streaming_reads": float(level.streaming_reads),
+                "output_writes": float(level.output_writes),
+            }
+            for level_name, level in (("dram", report.traffic.dram),
+                                      ("global_buffer",
+                                       report.traffic.global_buffer))
+        },
+        "effectual_multiplies": int(report.effectual_multiplies),
+        "output_nonzeros": int(report.output_nonzeros),
+        "glb_block_rows": int(report.glb_block_rows),
+        "glb_overbooking_rate": float(report.glb_overbooking_rate),
+        "glb_utilization": float(report.glb_utilization),
+        "bumped_fraction": float(report.bumped_fraction),
+        "data_reuse_fraction": float(report.data_reuse_fraction),
+        "tiling_tax_elements": float(report.tiling_tax_elements),
+        "bound": report.bound,
+        "details": {key: float(value)
+                    for key, value in report.details.items()},
+        "kernel": report.kernel,
+    }
+
+
+def decode_report(payload: dict) -> PerformanceReport:
+    """Rebuild a :class:`PerformanceReport` encoded by :func:`encode_report`."""
+    def level(name: str) -> LevelTraffic:
+        data = payload["traffic"][name]
+        return LevelTraffic(
+            level=data["level"],
+            stationary_reads=data["stationary_reads"],
+            stationary_baseline=data["stationary_baseline"],
+            streaming_reads=data["streaming_reads"],
+            output_writes=data["output_writes"],
+        )
+
+    return PerformanceReport(
+        workload=payload["workload"],
+        variant=payload["variant"],
+        cycles=payload["cycles"],
+        energy=EnergyReport(per_component_pj=dict(payload["energy"])),
+        traffic=TrafficBreakdown(dram=level("dram"),
+                                 global_buffer=level("global_buffer")),
+        effectual_multiplies=payload["effectual_multiplies"],
+        output_nonzeros=payload["output_nonzeros"],
+        glb_block_rows=payload["glb_block_rows"],
+        glb_overbooking_rate=payload["glb_overbooking_rate"],
+        glb_utilization=payload["glb_utilization"],
+        bumped_fraction=payload["bumped_fraction"],
+        data_reuse_fraction=payload["data_reuse_fraction"],
+        tiling_tax_elements=payload["tiling_tax_elements"],
+        bound=payload["bound"],
+        details=dict(payload["details"]),
+        kernel=payload["kernel"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# Statistics containers
+# --------------------------------------------------------------------- #
+@dataclass
+class SessionStats:
+    """What *this* :class:`ReportStore` instance did (in-memory counters)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """On-disk state of a store, from a full scan (``store stats``)."""
+
+    entries: int
+    total_bytes: int
+    reports: int
+    kernels: Dict[str, int]
+    workloads: int
+    schema_versions: Dict[str, int]
+    manifests: int
+
+
+@dataclass(frozen=True)
+class GcStats:
+    """Outcome of one ``store gc`` pass."""
+
+    scanned: int
+    removed_entries: int
+    removed_temp_files: int
+    reclaimed_bytes: int
+    kept: int
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+@dataclass
+class ReportStore:
+    """Content-addressed persistent store of per-variant report dicts.
+
+    Parameters
+    ----------
+    root:
+        Directory the store lives in.  Created (with a schema marker) on
+        first use; an existing marker with a different ``schema_version``
+        raises :class:`StoreSchemaError` immediately rather than on first
+        read.
+    check_marker:
+        Pass ``False`` to open a store whose marker disagrees with this
+        build's schema — only :meth:`gc` (which prunes the unreadable
+        entries and refreshes the marker) should do this.
+    create:
+        Pass ``False`` to refuse to open a directory that is not already a
+        store (no marker): inspection commands (``store stats`` /
+        ``store gc``) use this so a mistyped ``--store`` path errors
+        instead of silently initializing an empty store there.
+    """
+
+    root: Path
+    check_marker: bool = True
+    create: bool = True
+    session: SessionStats = field(default_factory=SessionStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        marker = self.root / MARKER_NAME
+        if not marker.exists() and not self.create:
+            raise StoreError(
+                f"no report store at {self.root} (missing {MARKER_NAME}); "
+                f"check the --store path — stores are created by the first "
+                f"run/sweep/search that writes to one")
+        if marker.exists():
+            meta = json.loads(marker.read_text())
+            version = meta.get("schema_version")
+            if version != SCHEMA_VERSION and self.check_marker:
+                raise StoreSchemaError(
+                    f"store at {self.root} uses schema {version!r}; this "
+                    f"build reads schema {SCHEMA_VERSION} — run "
+                    f"'python -m repro store gc --store {self.root}' to "
+                    f"prune entries this build cannot read, or point "
+                    f"--store at a fresh directory")
+        else:
+            (self.root / OBJECTS_DIR).mkdir(parents=True, exist_ok=True)
+            (self.root / MANIFESTS_DIR).mkdir(parents=True, exist_ok=True)
+            _atomic_write_json(marker, {
+                "schema_version": SCHEMA_VERSION,
+                "created_unix": time.time(),
+            })
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+    def path_for(self, memo_key: tuple) -> Path:
+        """The entry path of an evaluation identity (may not exist yet)."""
+        digest = key_digest(memo_key)
+        return self.root / OBJECTS_DIR / digest[:2] / f"{digest}.json"
+
+    def manifest_path(self, name: str) -> Path:
+        """Path of a run manifest (sweep/search progress records)."""
+        return self.root / MANIFESTS_DIR / f"{name}.json"
+
+    # ------------------------------------------------------------------ #
+    # Read / write
+    # ------------------------------------------------------------------ #
+    def contains(self, memo_key: tuple) -> bool:
+        return self.path_for(memo_key).exists()
+
+    def load(self, memo_key: tuple) -> Optional[Dict[str, PerformanceReport]]:
+        """The stored per-variant reports for ``memo_key``, or ``None``.
+
+        Raises :class:`StoreSchemaError` when the entry was written under a
+        different schema version and :class:`StoreError` when it cannot be
+        parsed at all (both prunable with ``store gc``).
+        """
+        path = self.path_for(memo_key)
+        try:
+            raw = path.read_text()
+        except FileNotFoundError:
+            self.session.misses += 1
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise StoreError(
+                f"unreadable store entry {path} ({error}); run "
+                f"'python -m repro store gc --store {self.root}'") from error
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"store entry {path} uses schema {version!r}, expected "
+                f"{SCHEMA_VERSION}; run 'python -m repro store gc --store "
+                f"{self.root}' to prune stale entries")
+        self.session.hits += 1
+        return {variant: decode_report(data)
+                for variant, data in payload["reports"].items()}
+
+    def store(self, memo_key: tuple,
+              reports: Dict[str, PerformanceReport]) -> Path:
+        """Persist per-variant reports atomically; returns the entry path."""
+        path = self.path_for(memo_key)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "key": key_payload(memo_key),
+            "reports": {variant: encode_report(report)
+                        for variant, report in reports.items()},
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, payload)
+        self.session.writes += 1
+        return path
+
+    def write_manifest(self, name: str, payload: dict) -> Path:
+        """Atomically publish a run manifest under ``manifests/``."""
+        path = self.manifest_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_json(path, dict(payload, schema_version=SCHEMA_VERSION))
+        return path
+
+    def read_manifest(self, name: str) -> Optional[dict]:
+        """The manifest published as ``name``, or ``None``."""
+        path = self.manifest_path(name)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def _entry_paths(self) -> Iterator[Path]:
+        objects = self.root / OBJECTS_DIR
+        if not objects.exists():
+            return
+        for shard in sorted(objects.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def stats(self) -> StoreStats:
+        """Scan the store and summarize what it holds."""
+        entries = 0
+        total_bytes = 0
+        reports = 0
+        kernels: Dict[str, int] = {}
+        workloads = set()
+        versions: Dict[str, int] = {}
+        for path in self._entry_paths():
+            entries += 1
+            total_bytes += path.stat().st_size
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                versions["corrupt"] = versions.get("corrupt", 0) + 1
+                continue
+            version = str(payload.get("schema_version"))
+            versions[version] = versions.get(version, 0) + 1
+            key = payload.get("key", {})
+            kernel = key.get("kernel", "?")
+            kernels[kernel] = kernels.get(kernel, 0) + 1
+            workloads.add((kernel, key.get("workload")))
+            reports += len(payload.get("reports", {}))
+        manifests = len(list((self.root / MANIFESTS_DIR).glob("*.json"))) \
+            if (self.root / MANIFESTS_DIR).exists() else 0
+        return StoreStats(
+            entries=entries,
+            total_bytes=total_bytes,
+            reports=reports,
+            kernels=kernels,
+            workloads=len(workloads),
+            schema_versions=versions,
+            manifests=manifests,
+        )
+
+    def gc(self) -> GcStats:
+        """Prune entries this build cannot read, plus stale temp files.
+
+        Removes entries whose ``schema_version`` differs from
+        :data:`SCHEMA_VERSION`, entries that fail to parse, leftover
+        ``*.tmp*`` files from interrupted writers, and shard directories
+        emptied by the above.
+        """
+        scanned = removed = reclaimed = kept = 0
+        objects = self.root / OBJECTS_DIR
+        for path in list(self._entry_paths()):
+            scanned += 1
+            try:
+                payload = json.loads(path.read_text())
+                stale = payload.get("schema_version") != SCHEMA_VERSION
+            except json.JSONDecodeError:
+                stale = True
+            if stale:
+                reclaimed += path.stat().st_size
+                path.unlink()
+                removed += 1
+            else:
+                kept += 1
+        removed_tmp = 0
+        if objects.exists():
+            for tmp in objects.rglob("*.tmp*"):
+                reclaimed += tmp.stat().st_size
+                tmp.unlink()
+                removed_tmp += 1
+            for shard in objects.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        # Everything left is readable under the current schema: refresh the
+        # marker so future opens (which check it) succeed.
+        _atomic_write_json(self.root / MARKER_NAME, {
+            "schema_version": SCHEMA_VERSION,
+            "created_unix": time.time(),
+        })
+        return GcStats(scanned=scanned, removed_entries=removed,
+                       removed_temp_files=removed_tmp,
+                       reclaimed_bytes=reclaimed, kept=kept)
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON via a same-directory temp file + ``os.replace``.
+
+    ``os.replace`` is atomic on POSIX and Windows for same-filesystem moves,
+    so readers either see the old entry or the complete new one, never a
+    prefix; racing writers simply replace each other with identical content.
+    """
+    handle = tempfile.NamedTemporaryFile(
+        mode="w", dir=path.parent, prefix=path.name + ".tmp", delete=False)
+    try:
+        with handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+def format_stats(stats: StoreStats, session: Optional[SessionStats] = None,
+                 *, root: Optional[Path] = None) -> str:
+    """Human-readable rendering of :meth:`ReportStore.stats` (``store stats``)."""
+    lines = []
+    if root is not None:
+        lines.append(f"report store at {root}")
+    lines.append(f"  entries        : {stats.entries} "
+                 f"({stats.total_bytes / 1024:.1f} KiB, "
+                 f"{stats.reports} variant reports)")
+    lines.append(f"  distinct cells : {stats.workloads} (kernel x workload)")
+    if stats.kernels:
+        per_kernel = ", ".join(f"{kernel}={count}" for kernel, count
+                               in sorted(stats.kernels.items()))
+        lines.append(f"  per kernel     : {per_kernel}")
+    versions = ", ".join(f"{version}: {count}" for version, count
+                         in sorted(stats.schema_versions.items()))
+    lines.append(f"  schema versions: {versions or '-'} "
+                 f"(current: {SCHEMA_VERSION})")
+    lines.append(f"  manifests      : {stats.manifests}")
+    if session is not None:
+        lines.append(f"  this session   : {session.hits} hits, "
+                     f"{session.misses} misses, {session.writes} writes")
+    return "\n".join(lines)

@@ -12,13 +12,27 @@ collects per-workload rows and per-point geometric-mean summaries from the
 warm memo.
 
 Results serialize to JSON (:meth:`SweepResult.write_json`) and CSV
-(:meth:`SweepResult.write_csv`); the CLI's ``sweep`` subcommand is a thin
-wrapper over this module.
+(:meth:`SweepResult.write_csv`); both refuse to overwrite an existing file
+unless ``force=True`` (the CLI's ``--force``).  The artifacts are
+*deterministic*: run-dependent scheduling statistics are kept out of the
+JSON, so the same grid over the same suite always produces byte-identical
+files — which is what makes resumption verifiable.
+
+Attach a :class:`~repro.experiments.store.ReportStore` (``store=``) to make
+a sweep durable: every grid cell is persisted the moment it is evaluated,
+and a *sweep manifest* describing the grid is published under the store's
+``manifests/`` directory before evaluation starts.  A sweep that crashes
+mid-grid can then be rerun with ``resume=True`` (CLI: ``--resume``) — cells
+already on disk are served from the store and only the missing ones are
+recomputed, yielding the same bytes an uninterrupted run would have written.
+
+The CLI's ``sweep`` subcommand is a thin wrapper over this module.
 """
 
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -141,21 +155,88 @@ class SweepResult:
                        f"glb×{glb_scale} pe×{pe_scale}")
 
     def to_jsonable(self) -> dict:
-        return to_jsonable(self)
+        """JSON payload of the sweep — deterministic by construction.
 
-    def write_json(self, path) -> Path:
-        path = Path(path)
+        The ``schedule`` statistics (how many cells were warm, served from
+        the store, or computed on how many workers) vary between an
+        interrupted-and-resumed run and an uninterrupted one, so they are
+        excluded here; a resumed sweep therefore writes *byte-identical*
+        artifacts.  Read them from :attr:`SweepResult.schedule` instead.
+        """
+        payload = to_jsonable(self)
+        payload.pop("schedule", None)
+        return payload
+
+    def write_json(self, path, *, force: bool = False) -> Path:
+        path = _refusing_overwrite(path, force)
         path.write_text(json.dumps(self.to_jsonable(), indent=2) + "\n")
         return path
 
-    def write_csv(self, path) -> Path:
-        path = Path(path)
+    def write_csv(self, path, *, force: bool = False) -> Path:
+        path = _refusing_overwrite(path, force)
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(_CSV_COLUMNS)
             for row in self.rows:
                 writer.writerow([getattr(row, column) for column in _CSV_COLUMNS])
         return path
+
+
+def _refusing_overwrite(path, force: bool) -> Path:
+    """Guard artifact writes: refuse to clobber an existing file.
+
+    Sweeps can be expensive; silently overwriting last night's grid with
+    today's is never what anyone wanted.  Pass ``force=True`` (CLI:
+    ``--force``, or ``--resume``, which by definition re-writes the outputs
+    of the interrupted run) to overwrite deliberately.
+    """
+    path = Path(path)
+    if path.exists() and not force:
+        raise FileExistsError(
+            f"{path} already exists; pass force=True (CLI: --force) to "
+            f"overwrite it")
+    return path
+
+
+def sweep_signature(suite: WorkloadSuite, *, y_values, glb_scales, pe_scales,
+                    kernels, base: ArchitectureConfig) -> str:
+    """Stable identity of a sweep grid (names the manifest in the store).
+
+    Two invocations with the same suite token (which encodes any workload
+    subset via the token's workload order), grid axes and base architecture
+    share a signature — and therefore a manifest — so a resumed run finds
+    the record its interrupted predecessor published.
+    """
+    from repro.experiments.store import _plain
+
+    payload = json.dumps({
+        "suite": _plain(suite.cache_token),
+        "y_values": [float(y) for y in y_values],
+        "glb_scales": [float(s) for s in glb_scales],
+        "pe_scales": [float(s) for s in pe_scales],
+        "kernels": [str(k) for k in kernels],
+        "architecture": to_jsonable(base),
+    }, sort_keys=True, separators=(",", ":"))
+    return "sweep-" + hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _store_aware_scheduler(scheduler: Optional[EvaluationScheduler], store,
+                           max_workers: Optional[int]) -> EvaluationScheduler:
+    """The scheduler a store-aware driver should use.
+
+    Never mutates a caller-supplied scheduler: when one is given without a
+    store attached, an equivalently-configured scheduler carrying ``store``
+    is built for this call only (the scheduler holds configuration, not
+    state, so this loses nothing).
+    """
+    if scheduler is None:
+        return EvaluationScheduler(max_workers=max_workers, store=store)
+    if store is not None and scheduler.store is None:
+        return EvaluationScheduler(
+            max_workers=scheduler.max_workers,
+            min_parallel_requests=scheduler.min_parallel_requests,
+            store=store)
+    return scheduler
 
 
 def _scaled_architecture(base: ArchitectureConfig, glb_scale: float,
@@ -178,7 +259,8 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
                base_architecture: Optional[ArchitectureConfig] = None,
                workloads: Optional[Sequence[str]] = None,
                scheduler: Optional[EvaluationScheduler] = None,
-               max_workers: Optional[int] = None) -> SweepResult:
+               max_workers: Optional[int] = None,
+               store=None, resume: bool = False) -> SweepResult:
     """Evaluate the full ``kernel × glb × pe × y`` grid over ``suite``.
 
     ``workloads`` restricts the sweep to a subset of the suite; ``kernels``
@@ -190,11 +272,21 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
     artifacts.  All grid points are batched through one scheduler prefetch;
     pass ``max_workers=1`` (or a pre-configured ``scheduler``) to force
     serial evaluation.
+
+    ``store`` (a :class:`~repro.experiments.store.ReportStore`) makes the
+    sweep durable: each cell is persisted as it completes and a grid
+    manifest is published before evaluation starts.  ``resume=True``
+    (requires ``store``) reruns an interrupted grid — cells already on disk
+    are not re-evaluated, and the resulting artifacts are byte-identical to
+    an uninterrupted run's.
     """
     if not y_values:
         raise ValueError("y_values must not be empty")
     if not kernels:
         raise ValueError("kernels must not be empty")
+    if resume and store is None:
+        raise ValueError("resume=True needs a store to resume from "
+                         "(CLI: --resume requires --store)")
     if synth is not None:
         if suite is not None:
             raise ValueError("pass either a suite or synth specs, not both")
@@ -205,8 +297,7 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
     base = base_architecture or scaled_default_config()
     if workloads is not None:
         suite = suite.subset(list(workloads))
-    if scheduler is None:
-        scheduler = EvaluationScheduler(max_workers=max_workers)
+    scheduler = _store_aware_scheduler(scheduler, store, max_workers)
 
     contexts: List[ExperimentContext] = []
     points: List[SweepPoint] = []
@@ -231,7 +322,44 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
     requests = []
     for context in contexts:
         requests.extend(requests_for_context(context))
+
+    manifest_name = None
+    if store is not None:
+        # Publish (atomically) what this sweep is about to do *before* doing
+        # it, so a crash mid-grid leaves a record the rerun can check
+        # against.  The manifest is keyed by the grid's signature: a resumed
+        # run of the same grid finds — and finishes — its predecessor's.
+        manifest_name = sweep_signature(
+            suite, y_values=y_values, glb_scales=glb_scales,
+            pe_scales=pe_scales, kernels=kernels, base=base)
+        store.write_manifest(manifest_name, {
+            "kind": "sweep",
+            "status": "in-progress",
+            "suite_workloads": list(suite.names),
+            "y_values": [float(y) for y in y_values],
+            "glb_scales": [float(s) for s in glb_scales],
+            "pe_scales": [float(s) for s in pe_scales],
+            "kernels": [str(k) for k in kernels],
+            "grid_points": len(points),
+            "cells": len(requests),
+        })
+
     stats = scheduler.prefetch(requests)
+
+    if store is not None and manifest_name is not None:
+        store.write_manifest(manifest_name, {
+            "kind": "sweep",
+            "status": "complete",
+            "suite_workloads": list(suite.names),
+            "y_values": [float(y) for y in y_values],
+            "glb_scales": [float(s) for s in glb_scales],
+            "pe_scales": [float(s) for s in pe_scales],
+            "kernels": [str(k) for k in kernels],
+            "grid_points": len(points),
+            "cells": len(requests),
+            "computed": stats.computed,
+            "store_hits": stats.store_hits,
+        })
 
     rows: List[SweepRow] = []
     summaries: List[SweepSummary] = []
@@ -286,10 +414,15 @@ def format_summaries(result: SweepResult) -> str:
     from repro.utils.text import format_table
 
     schedule = result.schedule
-    schedule_note = (
-        f"scheduler computed {schedule.computed} evaluations on "
-        f"{schedule.workers} worker(s)" if schedule.computed
-        else "all evaluations served from the report memo")
+    notes = []
+    if schedule.computed:
+        notes.append(f"scheduler computed {schedule.computed} evaluations on "
+                     f"{schedule.workers} worker(s)")
+    if schedule.store_hits:
+        notes.append(f"{schedule.store_hits} served from the report store")
+    if not notes:
+        notes.append("all evaluations served from the report memo")
+    schedule_note = "; ".join(notes)
     return format_table(
         ["point", "OB/N speedup", "OB/P speedup", "OB/N energy"],
         [

@@ -37,6 +37,19 @@ Every workload exposes the same surface the model layer consumes:
 :data:`KERNELS` is the registry the suite/model/experiment layers use to
 resolve kernels by name; :func:`build_kernel_workload` is the one constructor
 the pipeline calls.
+
+Public surface
+--------------
+:func:`kernel_names` / :func:`kernel_spec` (registry lookup; ``kernel_spec``
+is the fail-fast validator every layer calls on its ``kernel`` argument),
+:func:`build_kernel_workload` (suite + name + kernel → workload object), and
+the workload classes themselves (:class:`SpMMWorkload`,
+:class:`SpMVWorkload`, :class:`SDDMMWorkload`, plus
+:class:`~repro.tensor.einsum.MatmulWorkload` for the SpMSpM pair).  The
+kernel *name* is part of the evaluation identity — it appears in report memo
+keys, scheduler requests, and the persistent report store's content
+addresses (see ``docs/ARCHITECTURE.md``), so renaming a kernel invalidates
+its cached evaluations by construction.
 """
 
 from __future__ import annotations

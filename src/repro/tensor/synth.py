@@ -31,6 +31,19 @@ resolved, values coerced, keys sorted), so that
 The CLI (``--synth model:param=value,...``), the sweep runner's
 model/params columns, and the ``table4`` experiment (overbooking benefit
 vs. structure skew) are all thin layers over this registry.
+
+Public surface
+--------------
+:class:`SynthSpec` (the canonical identity), :func:`parse_synth_spec` /
+:func:`synth_specs` (CLI-string and mixed-sequence parsing),
+:func:`spec_from_token` (the inverse of :attr:`SynthSpec.token`, used by
+scheduler workers and the persistent report store's key round-trip),
+:func:`model_names` / :func:`get_model` (registry introspection),
+:func:`specs_by_workload_name` (suite → spec mapping for the sweep/search
+columns), and :func:`tile_occupancy_cv` (the structure-skew statistic of
+``table4``).  Everything else is registry plumbing.  The token/identity
+contract this module guarantees is documented in
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
