@@ -18,7 +18,12 @@ performance trajectory to compare against.  Stages:
 * ``store`` — the persistent report store (:mod:`repro.experiments.store`):
   a full-suite 3-target sweep evaluated cold *writing* a store, then the
   same sweep on a cold process *reading* it (what ``--store``/``--resume``
-  pays), plus raw store write/load throughput in entries per second.
+  pays), plus raw store write/load throughput in entries per second;
+* ``shard_scaling`` — the same full-suite 3-target sweep executed by 1 vs 2
+  vs 4 cooperative shard workers (real ``python -m repro sweep --shard i/N``
+  subprocesses, see :mod:`repro.experiments.shard`), wall time from first
+  launch to last exit — what multi-worker sharding buys end to end,
+  including process startup and lease traffic.
 
 Run with::
 
@@ -120,6 +125,43 @@ def _bench_store() -> dict:
     }
 
 
+def _bench_shards(shard_counts=(1, 2, 4)) -> dict:
+    """Wall time of an N-worker cooperative sharded sweep, per N.
+
+    Each worker is a real ``python -m repro sweep --shard i/N`` subprocess
+    against a shared fresh store, so the measurement includes interpreter
+    startup, suite rebuild, and lease-file traffic — the honest end-to-end
+    cost of sharding, not just the evaluation kernel.
+    """
+    import subprocess
+    import tempfile
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)  # never benchmark with fault drills armed
+
+    results = {}
+    for count in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+            start = time.perf_counter()
+            workers = [
+                subprocess.Popen(
+                    [sys.executable, "-m", "repro", "sweep",
+                     "--suite", "full", "--y", "0.05,0.10,0.22",
+                     "--shard", f"{index}/{count}",
+                     "--store", str(Path(tmp) / "store")],
+                    env=env, cwd=tmp,
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+                for index in range(1, count + 1)
+            ]
+            for worker in workers:
+                if worker.wait(timeout=600) != 0:
+                    raise RuntimeError(
+                        f"shard worker exited {worker.returncode}")
+            results[str(count)] = round(time.perf_counter() - start, 4)
+    return results
+
+
 def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
@@ -155,6 +197,18 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
 
     store = _bench_store()
 
+    # Same 1-core caveat as the worker sweep: N shard subprocesses
+    # timesharing one core measure contention, not scaling.
+    if cpu_count <= 1:
+        shards = {}
+        shard_note = (
+            "skipped: os.cpu_count() == 1, so concurrent shard workers "
+            "would measure core contention rather than scaling; re-run on "
+            "multi-core hardware")
+    else:
+        shards = _bench_shards()
+        shard_note = f"measured on {cpu_count} cores"
+
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
@@ -171,6 +225,8 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         "parallel_cold_seconds_by_workers": parallel,
         "parallel_note": parallel_note,
         "store": store,
+        "shard_scaling_seconds_by_workers": shards,
+        "shard_scaling_note": shard_note,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
     }
@@ -209,6 +265,12 @@ def main(argv=None) -> int:
           f" -> warm-store {store['sweep_warm_store_seconds']:.3f}s "
           f"({store['warm_vs_cold_speedup']:.1f}x); "
           f"{store['store_hit_entries_per_second']:.0f} entry loads/s")
+    if result["shard_scaling_seconds_by_workers"]:
+        for count, seconds in \
+                result["shard_scaling_seconds_by_workers"].items():
+            print(f"sharded sweep, {count} worker(s): {seconds:.3f}s")
+    else:
+        print(f"shard scaling {result['shard_scaling_note']}")
     print(f"wrote {args.output}")
     return 0
 

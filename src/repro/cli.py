@@ -17,7 +17,22 @@ Subcommands
     through the same scheduler, and write JSON + CSV artifacts.  Existing
     outputs are never overwritten without ``--force``; with ``--store DIR``
     every grid cell is persisted as it completes, and ``--resume`` finishes
-    an interrupted grid recomputing only the missing cells.
+    an interrupted grid recomputing only the missing cells.  ``--shard i/N``
+    turns the sweep into one worker of a fault-tolerant cooperative job (see
+    :mod:`repro.experiments.shard`): N workers launched with the same grid
+    split the cells deterministically, claim them via lease files in the
+    store, reclaim cells from crashed peers, and write no artifacts — run
+    ``merge`` when they are done.
+
+``merge``
+    Verify a sharded grid is complete in the store and assemble the final
+    ``sweep.json``/``sweep.csv`` — byte-identical to a serial ``sweep`` of
+    the same grid.  Must be launched with the workers' exact grid arguments.
+
+``status``
+    Report a sharded grid's progress (stored / leased / missing cells)
+    without evaluating or claiming anything.  Exits 0 when the grid is
+    complete and ready to merge, 1 otherwise.
 
 ``search``
     Pareto design-space search: generationally expand a ``(y, GLB-scale,
@@ -26,8 +41,10 @@ Subcommands
     :mod:`repro.experiments.search`).
 
 ``store``
-    Inspect (``store stats``) or garbage-collect (``store gc``) a persistent
-    report store directory (see :mod:`repro.experiments.store`).
+    Inspect (``store stats``), integrity-check (``store verify``) or
+    garbage-collect (``store gc``) a persistent report store directory (see
+    :mod:`repro.experiments.store`).  ``verify`` full-decodes every entry,
+    quarantines corrupt ones, and with ``--clear`` empties the quarantine.
 
 ``run``, ``sweep`` and ``search`` take a kernel axis (``--kernel``; Gram
 SpMSpM, general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`),
@@ -51,9 +68,13 @@ Examples (the full reference with sample output lives in ``docs/CLI.md``)::
     python -m repro sweep --kernel gram,spmm,spmv --suite quick
     python -m repro sweep --synth uniform --synth banded:bandwidth=24
     python -m repro sweep --suite quick --store .repro-store --resume
+    python -m repro sweep --suite quick --store .repro-store --shard 1/4
+    python -m repro status --suite quick --store .repro-store
+    python -m repro merge --suite quick --store .repro-store
     python -m repro run fig14 --quick --store .repro-store
     python -m repro search --suite quick --generations 2 --store .repro-store
     python -m repro store stats --store .repro-store
+    python -m repro store verify --store .repro-store --clear
     python -m repro store gc --store .repro-store
 """
 
@@ -70,7 +91,20 @@ from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import EvaluationScheduler
 from repro.experiments.search import format_frontier, search_frontier
-from repro.experiments.store import ReportStore, StoreError, format_stats
+from repro.experiments.shard import (
+    DEFAULT_LEASE_TTL,
+    format_shard_stats,
+    format_status,
+    merge_shards,
+    run_shard,
+    shard_status,
+)
+from repro.experiments.store import (
+    ReportStore,
+    StoreError,
+    format_stats,
+    format_verify,
+)
 from repro.experiments.sweep import format_summaries, sweep_grid
 from repro.tensor.kernels import kernel_names
 from repro.tensor.suite import corpus_suite, default_suite, small_suite, synth_suite
@@ -137,6 +171,54 @@ def _add_store_argument(parser: argparse.ArgumentParser, *,
                              "persisted to it (created on first use)")
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The grid-shaping flags shared by ``sweep``, ``merge`` and ``status``.
+
+    All three must agree on them — they define the grid's identity (its
+    manifest signature), so a cooperative sweep's workers and its merge are
+    launched with the same flags.
+    """
+    parser.add_argument("--y", type=_parse_floats, default=[0.05, 0.10, 0.22],
+                        metavar="Y1,Y2,...",
+                        help="overbooking targets (default: 0.05,0.10,0.22)")
+    parser.add_argument("--glb-scales", type=_parse_floats, default=[1.0],
+                        metavar="S1,S2,...",
+                        help="GLB capacity scaling factors (default: 1.0)")
+    parser.add_argument("--pe-scales", type=_parse_floats, default=[1.0],
+                        metavar="S1,S2,...",
+                        help="PE buffer scaling factors (default: 1.0)")
+    parser.add_argument("--kernel", type=_parse_kernels, default=["gram"],
+                        metavar="K1,K2,...", dest="kernels",
+                        help="kernel grid dimension (comma-separated; "
+                             f"known: {', '.join(kernel_names())}; "
+                             "default: gram)")
+    parser.add_argument("--suite", choices=("full", "quick"), default="full",
+                        help="workload suite (default: full)")
+    parser.add_argument("--matrix", action="append", type=Path, default=None,
+                        metavar="PATH.mtx[.gz]",
+                        help="use real MatrixMarket matrices instead of the "
+                             "synthetic suite (repeatable; overrides --suite)")
+    parser.add_argument("--synth", action="append", type=_parse_synth,
+                        default=None, metavar="MODEL[:K=V,...]",
+                        help="use seeded sparsity-model workloads — the "
+                             "model/params columns land in the JSON/CSV "
+                             "(repeatable; overrides --suite and --matrix; "
+                             f"models: {', '.join(model_names())})")
+    parser.add_argument("--workloads", default=None, metavar="W1,W2,...",
+                        help="restrict to a comma-separated workload subset")
+
+
+def _grid_kwargs(args: argparse.Namespace) -> dict:
+    """The grid-shaping keyword arguments for sweep/shard/merge/status."""
+    return {
+        "y_values": args.y,
+        "glb_scales": args.glb_scales,
+        "pe_scales": args.pe_scales,
+        "kernels": args.kernels,
+        "workloads": _parse_workload_subset(args),
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -185,35 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sweep = subparsers.add_parser(
         "sweep", help="run a y / buffer-scaling grid, write JSON + CSV")
-    sweep.add_argument("--y", type=_parse_floats, default=[0.05, 0.10, 0.22],
-                       metavar="Y1,Y2,...",
-                       help="overbooking targets (default: 0.05,0.10,0.22)")
-    sweep.add_argument("--glb-scales", type=_parse_floats, default=[1.0],
-                       metavar="S1,S2,...",
-                       help="GLB capacity scaling factors (default: 1.0)")
-    sweep.add_argument("--pe-scales", type=_parse_floats, default=[1.0],
-                       metavar="S1,S2,...",
-                       help="PE buffer scaling factors (default: 1.0)")
-    sweep.add_argument("--kernel", type=_parse_kernels, default=["gram"],
-                       metavar="K1,K2,...", dest="kernels",
-                       help="kernel grid dimension (comma-separated; "
-                            f"known: {', '.join(kernel_names())}; "
-                            "default: gram)")
-    sweep.add_argument("--suite", choices=("full", "quick"), default="full",
-                       help="workload suite (default: full)")
-    sweep.add_argument("--matrix", action="append", type=Path, default=None,
-                       metavar="PATH.mtx[.gz]",
-                       help="sweep over real MatrixMarket matrices instead of "
-                            "the synthetic suite (repeatable; overrides "
-                            "--suite)")
-    sweep.add_argument("--synth", action="append", type=_parse_synth,
-                       default=None, metavar="MODEL[:K=V,...]",
-                       help="sweep over seeded sparsity-model workloads — the "
-                            "model/params columns land in the JSON/CSV "
-                            "(repeatable; overrides --suite and --matrix; "
-                            f"models: {', '.join(model_names())})")
-    sweep.add_argument("--workloads", default=None, metavar="W1,W2,...",
-                       help="restrict to a comma-separated workload subset")
+    _add_grid_arguments(sweep)
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="worker processes (default: CPU count; 1 = serial)")
     sweep.add_argument("--output-dir", type=Path, default=Path("artifacts"),
@@ -229,7 +283,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="finish an interrupted sweep: grid cells already "
                             "in the store are not re-evaluated (requires "
                             "--store; implies --force for the output files)")
+    sweep.add_argument("--shard", default=None, metavar="I/N",
+                       help="run as worker I of N in a fault-tolerant "
+                            "cooperative sweep (requires --store; writes no "
+                            "artifacts — run 'merge' with the same grid "
+                            "flags once the workers are done)")
+    sweep.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                       metavar="SECONDS",
+                       help="with --shard: how long a peer's lease heartbeat "
+                            "may stay frozen before its cell is reclaimed "
+                            f"(default: {DEFAULT_LEASE_TTL:g}s)")
     _add_store_argument(sweep)
+
+    merge = subparsers.add_parser(
+        "merge", help="assemble a completed sharded sweep into sweep.json + "
+                      "sweep.csv (byte-identical to a serial sweep)")
+    _add_grid_arguments(merge)
+    merge.add_argument("--output-dir", type=Path, default=Path("artifacts"),
+                       metavar="DIR",
+                       help="artifact directory (default: artifacts/)")
+    merge.add_argument("--no-artifacts", action="store_true",
+                       help="print the summary only, write nothing")
+    merge.add_argument("--force", action="store_true",
+                       help="overwrite existing sweep.json/sweep.csv outputs")
+    _add_store_argument(merge, required=True)
+
+    status = subparsers.add_parser(
+        "status", help="report a sharded sweep's progress (stored / leased / "
+                       "missing cells); exits 0 when ready to merge")
+    _add_grid_arguments(status)
+    _add_store_argument(status, required=True)
 
     search = subparsers.add_parser(
         "search", help="Pareto design-space search over (y, GLB, PE) "
@@ -287,6 +370,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats = store_sub.add_parser(
         "stats", help="scan the store: entries, bytes, kernels, schemas")
     _add_store_argument(stats, required=True)
+    verify = store_sub.add_parser(
+        "verify", help="full-decode every entry, quarantine the corrupt, "
+                       "report the quarantine backlog")
+    verify.add_argument("--clear", action="store_true",
+                        help="empty quarantine/ after the scan")
+    _add_store_argument(verify, required=True)
     gc = store_sub.add_parser(
         "gc", help="prune unreadable/old-schema entries and stale temp files")
     _add_store_argument(gc, required=True)
@@ -470,6 +559,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print("error: --resume requires --store (there is nothing to resume "
               "from without a persistent store)", file=sys.stderr)
         return 2
+    if args.shard is not None:
+        if args.store is None:
+            print("error: --shard requires --store (the store is the "
+                  "coordination substrate the workers share)",
+                  file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        stats = run_shard(
+            _suite_for(args),
+            shard=args.shard,
+            store=_store_for(args),
+            lease_ttl=args.lease_ttl,
+            **_grid_kwargs(args),
+        )
+        print(format_shard_stats(stats), file=sys.stderr)
+        print(f"shard worker finished in "
+              f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+        return 0
     clobbered = _check_outputs_writable(args, ["sweep.json", "sweep.csv"])
     if clobbered is not None:
         print(f"error: {clobbered} already exists; pass --force to overwrite "
@@ -540,6 +647,44 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_merge(args: argparse.Namespace) -> int:
+    args.resume = False  # _check_outputs_writable probes it
+    clobbered = _check_outputs_writable(args, ["sweep.json", "sweep.csv"])
+    if clobbered is not None:
+        print(f"error: {clobbered} already exists; pass --force to overwrite",
+              file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    result = merge_shards(
+        _suite_for(args),
+        store=ReportStore(args.store, create=False),
+        **_grid_kwargs(args),
+    )
+    print(format_summaries(result))
+    print(f"\nmerged {len(result.points)} point(s) from the store in "
+          f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
+
+    if not args.no_artifacts:
+        args.output_dir.mkdir(parents=True, exist_ok=True)
+        json_path = result.write_json(args.output_dir / "sweep.json",
+                                      force=args.force)
+        csv_path = result.write_csv(args.output_dir / "sweep.csv",
+                                    force=args.force)
+        print(f"wrote {json_path} and {csv_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    status = shard_status(
+        _suite_for(args),
+        store=ReportStore(args.store, create=False),
+        **_grid_kwargs(args),
+    )
+    print(format_status(status))
+    return 0 if status.complete else 1
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     # gc must be able to open a store written under another schema — it is
     # the tool that prunes such entries; stats checks the marker.  Neither
@@ -549,6 +694,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.store_command == "stats":
         print(format_stats(store.stats(), root=store.root))
         return 0
+    if args.store_command == "verify":
+        outcome = store.verify(clear=args.clear)
+        print(format_verify(outcome, root=store.root))
+        # Non-zero when something needs attention: corruption found this
+        # pass, or a quarantine backlog left unexamined.
+        return 1 if (outcome.quarantined or outcome.quarantine_backlog) else 0
     if args.store_command == "gc":
         outcome = store.gc()
         print(f"scanned {outcome.scanned} entr(ies): kept {outcome.kept}, "
@@ -562,6 +713,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
+                "merge": _cmd_merge, "status": _cmd_status,
                 "search": _cmd_search, "store": _cmd_store}
     try:
         return handlers[args.command](args)

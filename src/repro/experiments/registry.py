@@ -91,6 +91,40 @@ def to_jsonable(value: Any) -> Any:
     return value
 
 
+#: Result fields that are run-dependent *ephemera* — how the answer was
+#: obtained, never part of the answer itself.  Artifacts must be a pure
+#: function of the evaluation identity (suite, architecture, y, kernel,
+#: workload grid), so anything that varies between a serial run, a resumed
+#: run, and an N-shard run — scheduling statistics, lease/heartbeat state,
+#: retry counters — is stripped by :func:`deterministic_payload`.  This is
+#: the single place the identity-vs-ephemera split lives: sweep, search, and
+#: the shard merge all serialize through it, which is what makes their
+#: byte-identity guarantees (resumed == uninterrupted, merged == serial)
+#: hold by construction instead of by per-module exclusion conventions.
+EPHEMERAL_FIELDS = frozenset({
+    "schedule",        # ScheduleStats: warm/cold/store-hit/pool-restart split
+    "generations",     # per-generation ScheduleStats of the Pareto search
+    "shard",           # which worker computed which cells
+    "leases",          # live lease/claim state of a sharded run
+    "heartbeat",       # lease heartbeat counters
+    "retries",         # transient-I/O retry counters
+})
+
+
+def deterministic_payload(result: Any) -> Any:
+    """``to_jsonable(result)`` minus every :data:`EPHEMERAL_FIELDS` key.
+
+    Use this — not hand-rolled ``payload.pop(...)`` calls — wherever a
+    result becomes a JSON artifact whose bytes must not depend on *how* the
+    run was executed (serial vs. parallel vs. sharded vs. resumed).
+    """
+    payload = to_jsonable(result)
+    if isinstance(payload, dict):
+        for field_name in EPHEMERAL_FIELDS:
+            payload.pop(field_name, None)
+    return payload
+
+
 @dataclass(frozen=True)
 class Experiment:
     """Spec of one registered experiment (see the module docstring)."""

@@ -35,7 +35,9 @@ have produced — ``tests/experiments/test_scheduler.py`` pins that down to
 from __future__ import annotations
 
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -78,6 +80,10 @@ class ScheduleStats:
     ``warm`` counts in-process memo hits; ``store_hits`` counts requests
     served from the on-disk report store (when one is attached) and
     ``store_writes`` the freshly computed requests persisted to it.
+    ``pool_restarts`` / ``degraded_serial`` record worker-pool crash
+    recovery (see :meth:`EvaluationScheduler.prefetch`) — run-dependent
+    ephemera, like every other field here, and therefore excluded from all
+    artifacts (see :func:`repro.experiments.registry.deterministic_payload`).
     """
 
     requested: int
@@ -87,6 +93,8 @@ class ScheduleStats:
     workers: int
     store_hits: int = 0
     store_writes: int = 0
+    pool_restarts: int = 0
+    degraded_serial: bool = False
 
 
 def requests_for_context(
@@ -237,14 +245,19 @@ class EvaluationScheduler:
         # capacities) so chunking keeps them on one worker.
         cold.sort(key=lambda r: (r.workload, r.kernel, r.overbooking_target))
 
+        merged_keys = set()
+
         def merge(request: EvaluationRequest,
                   reports: Dict[str, PerformanceReport]) -> None:
             store_memoized_reports(request.memo_key, reports)
+            merged_keys.add(request.memo_key)
             if self.store is not None:
                 # Persist immediately (one atomic file per request), so an
                 # interrupted batch keeps everything it finished.
                 self.store.store(request.memo_key, reports)
 
+        pool_restarts = 0
+        degraded_serial = False
         workers = min(self.max_workers, len(cold))
         if workers <= 1 or len(cold) < self.min_parallel_requests:
             for request in cold:
@@ -252,11 +265,41 @@ class EvaluationScheduler:
                 merge(request, reports)
             workers = min(workers, 1)
         else:
-            chunksize = max(1, -(-len(cold) // (workers * 4)))
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                for request, reports in executor.map(
-                        _evaluate_request, cold, chunksize=chunksize):
-                    merge(request, reports)
+            # A worker dying (OOM kill, segfault, node eviction) surfaces as
+            # BrokenProcessPool with everything in flight lost.  The batch is
+            # pure and resumable, so recover instead of crashing the sweep:
+            # respawn the pool once and retry what never merged; if the pool
+            # breaks again, degrade to in-process evaluation — slow beats
+            # dead, and every result merged so far is kept either way.
+            pending = list(cold)
+            while pending:
+                chunksize = max(1, -(-len(pending) // (workers * 4)))
+                try:
+                    with ProcessPoolExecutor(max_workers=workers) as executor:
+                        for request, reports in executor.map(
+                                _evaluate_request, pending,
+                                chunksize=chunksize):
+                            merge(request, reports)
+                    pending = []
+                except BrokenProcessPool:
+                    pending = [request for request in pending
+                               if request.memo_key not in merged_keys]
+                    pool_restarts += 1
+                    if pool_restarts > 1:
+                        print(f"[scheduler] worker pool broke twice; "
+                              f"degrading to serial in-process evaluation "
+                              f"of the remaining {len(pending)} request(s)",
+                              file=sys.stderr)
+                        for request in pending:
+                            _, reports = _evaluate_request(request)
+                            merge(request, reports)
+                        pending = []
+                        degraded_serial = True
+                    else:
+                        print(f"[scheduler] worker pool broke (a worker "
+                              f"died, e.g. OOM-killed); respawning the pool "
+                              f"to retry the remaining {len(pending)} "
+                              f"request(s)", file=sys.stderr)
 
         return ScheduleStats(
             requested=len(requests),
@@ -266,6 +309,8 @@ class EvaluationScheduler:
             workers=workers,
             store_hits=store_hits,
             store_writes=len(cold) if self.store is not None else 0,
+            pool_restarts=pool_restarts,
+            degraded_serial=degraded_serial,
         )
 
     def prefetch_context(

@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.accelerator.config import ArchitectureConfig, scaled_default_config
-from repro.experiments.registry import to_jsonable
+from repro.experiments.registry import deterministic_payload
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import (
     EvaluationScheduler,
@@ -134,12 +134,11 @@ class FrontierResult:
                 if point.kernel == kernel and point.workload == workload]
 
     def to_jsonable(self) -> dict:
-        """Deterministic JSON payload (generation schedules excluded —
-        like :meth:`~repro.experiments.sweep.SweepResult.to_jsonable`, the
+        """Deterministic JSON payload (generation schedules excluded via
+        :func:`repro.experiments.registry.deterministic_payload` — like
+        :meth:`~repro.experiments.sweep.SweepResult.to_jsonable`, the
         warm/cold split varies between resumed and fresh runs)."""
-        payload = to_jsonable(self)
-        payload.pop("generations", None)
-        return payload
+        return deterministic_payload(self)
 
     def write_json(self, path, *, force: bool = False):
         import json

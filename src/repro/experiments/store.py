@@ -21,6 +21,15 @@ repeated contexts free *within* a process; this module makes them free
   ``schema_version``; loading an entry written under a different schema
   raises :class:`StoreSchemaError` instead of silently misreading it
   (``python -m repro store gc`` prunes such entries).
+* **Corrupt entries are quarantined, never fatal.**  An entry that does not
+  parse or decode (torn write that beat ``os.replace``, bit rot, a truncated
+  copy) is atomically sidelined into ``<root>/quarantine/`` and treated as a
+  cache *miss* — the key is simply re-evaluated and re-stored.  ``python -m
+  repro store verify`` scans the whole store for such entries up front (and
+  ``--clear`` empties the quarantine).
+* **Transient I/O is retried.**  Reads and writes go through
+  :func:`repro.utils.retry.retry_transient` (exponential backoff, seeded
+  jitter), so a filesystem hiccup costs milliseconds instead of a sweep.
 * **Exact round-trips.**  Reports serialize field-by-field with Python's
   shortest-repr float encoding, so ``report -> disk -> report`` reproduces
   every float bit-for-bit — golden tests pin the round-trip to 1e-9 and the
@@ -39,6 +48,7 @@ import dataclasses
 import hashlib
 import json
 import os
+import sys
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -51,6 +61,8 @@ from repro.accelerator.config import ArchitectureConfig
 from repro.energy.accelergy import EnergyReport
 from repro.model.stats import PerformanceReport, TrafficBreakdown
 from repro.model.traffic import LevelTraffic
+from repro.utils import faults
+from repro.utils.retry import retry_transient
 
 #: Bump when the entry layout (key payload or report encoding) changes in a
 #: way old readers would misinterpret.  ``store gc`` prunes mismatched
@@ -65,6 +77,12 @@ OBJECTS_DIR = "objects"
 
 #: Subdirectory holding sweep/search run manifests (see repro.experiments.sweep).
 MANIFESTS_DIR = "manifests"
+
+#: Subdirectory corrupt entries are sidelined into (see ``store verify``).
+QUARANTINE_DIR = "quarantine"
+
+#: Subdirectory holding shard work-claim leases (see repro.experiments.shard).
+LEASES_DIR = "leases"
 
 
 class StoreError(RuntimeError):
@@ -193,11 +211,18 @@ def decode_report(payload: dict) -> PerformanceReport:
 # --------------------------------------------------------------------- #
 @dataclass
 class SessionStats:
-    """What *this* :class:`ReportStore` instance did (in-memory counters)."""
+    """What *this* :class:`ReportStore` instance did (in-memory counters).
+
+    ``quarantined`` counts corrupt entries this instance sidelined (each was
+    also a miss); ``io_retries`` counts transient I/O errors absorbed by the
+    retry wrapper — run-dependent *ephemera*, never part of any artifact.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    quarantined: int = 0
+    io_retries: int = 0
 
 
 @dataclass(frozen=True)
@@ -211,6 +236,25 @@ class StoreStats:
     workloads: int
     schema_versions: Dict[str, int]
     manifests: int
+    quarantined: int = 0
+
+
+@dataclass(frozen=True)
+class VerifyStats:
+    """Outcome of one ``store verify`` pass.
+
+    ``quarantined`` counts entries sidelined by *this* pass;
+    ``quarantine_backlog`` is what sits in ``quarantine/`` afterwards
+    (``--clear`` empties it, reported as ``cleared``).  ``stale_schema``
+    entries are readable-but-old: left in place for ``store gc``.
+    """
+
+    scanned: int
+    ok: int
+    quarantined: int
+    stale_schema: int
+    quarantine_backlog: int
+    cleared: int
 
 
 @dataclass(frozen=True)
@@ -301,35 +345,61 @@ class ReportStore:
     def load(self, memo_key: tuple) -> Optional[Dict[str, PerformanceReport]]:
         """The stored per-variant reports for ``memo_key``, or ``None``.
 
-        Raises :class:`StoreSchemaError` when the entry was written under a
-        different schema version and :class:`StoreError` when it cannot be
-        parsed at all (both prunable with ``store gc``).
+        Never crashes on a *corrupt* entry (torn/truncated/mangled bytes, or
+        JSON that does not decode back into reports): the file is atomically
+        quarantined under ``quarantine/`` and the key is reported as a miss,
+        so callers simply re-evaluate and re-store it.  Transient
+        :class:`OSError`\\ s from the filesystem are retried with backoff.
+        Raises :class:`StoreSchemaError` only for *well-formed* entries
+        written under a different schema version — a deliberate upgrade
+        condition that ``store gc`` resolves, not a fault.
         """
         path = self.path_for(memo_key)
+
+        def read() -> str:
+            faults.active().maybe_raise("store.load")
+            return path.read_text()
+
         try:
-            raw = path.read_text()
+            raw = retry_transient(read, give_up_on=(FileNotFoundError,),
+                                  on_retry=self._count_io_retry)
         except FileNotFoundError:
             self.session.misses += 1
             return None
         try:
             payload = json.loads(raw)
-        except json.JSONDecodeError as error:
-            raise StoreError(
-                f"unreadable store entry {path} ({error}); run "
-                f"'python -m repro store gc --store {self.root}'") from error
+            if not isinstance(payload, dict):
+                raise ValueError(f"expected a JSON object, got "
+                                 f"{type(payload).__name__}")
+        except (json.JSONDecodeError, ValueError) as error:
+            self.quarantine_entry(path, reason=str(error))
+            self.session.misses += 1
+            return None
         version = payload.get("schema_version")
         if version != SCHEMA_VERSION:
             raise StoreSchemaError(
                 f"store entry {path} uses schema {version!r}, expected "
                 f"{SCHEMA_VERSION}; run 'python -m repro store gc --store "
                 f"{self.root}' to prune stale entries")
+        try:
+            reports = {variant: decode_report(data)
+                       for variant, data in payload["reports"].items()}
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            self.quarantine_entry(path, reason=f"undecodable reports "
+                                               f"({error!r})")
+            self.session.misses += 1
+            return None
         self.session.hits += 1
-        return {variant: decode_report(data)
-                for variant, data in payload["reports"].items()}
+        return reports
 
     def store(self, memo_key: tuple,
               reports: Dict[str, PerformanceReport]) -> Path:
-        """Persist per-variant reports atomically; returns the entry path."""
+        """Persist per-variant reports atomically; returns the entry path.
+
+        Transient :class:`OSError`\\ s (full temp write + publish) are
+        retried with backoff; the publish itself stays ``os.replace``-atomic
+        on every attempt.
+        """
         path = self.path_for(memo_key)
         payload = {
             "schema_version": SCHEMA_VERSION,
@@ -338,9 +408,39 @@ class ReportStore:
                         for variant, report in reports.items()},
         }
         path.parent.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(path, payload)
+
+        def write() -> None:
+            faults.active().maybe_raise("store.store")
+            _atomic_write_json(path, payload)
+
+        retry_transient(write, on_retry=self._count_io_retry)
+        faults.active().maybe_corrupt(path)
         self.session.writes += 1
         return path
+
+    def _count_io_retry(self, error: BaseException, attempt: int) -> None:
+        self.session.io_retries += 1
+
+    def quarantine_entry(self, path: Path, *, reason: str) -> Optional[Path]:
+        """Atomically sideline a corrupt entry file into ``quarantine/``.
+
+        Returns the quarantine path, or ``None`` when a racing reader beat
+        us to it.  One stderr line announces the event — quarantining is
+        survivable by design but should never be invisible.
+        """
+        destination_dir = self.root / QUARANTINE_DIR
+        destination_dir.mkdir(parents=True, exist_ok=True)
+        destination = destination_dir / path.name
+        try:
+            os.replace(path, destination)
+        except FileNotFoundError:
+            return None
+        self.session.quarantined += 1
+        print(f"[store] quarantined corrupt entry {path.name}: {reason} "
+              f"(treated as a miss; inspect/clear with "
+              f"'python -m repro store verify --store {self.root}')",
+              file=sys.stderr)
+        return destination
 
     def write_manifest(self, name: str, payload: dict) -> Path:
         """Atomically publish a run manifest under ``manifests/``."""
@@ -366,6 +466,52 @@ class ReportStore:
         for shard in sorted(objects.iterdir()):
             if shard.is_dir():
                 yield from sorted(shard.glob("*.json"))
+
+    def quarantine_paths(self) -> Iterator[Path]:
+        quarantine = self.root / QUARANTINE_DIR
+        if quarantine.exists():
+            yield from sorted(quarantine.glob("*.json"))
+
+    def verify(self, *, clear: bool = False) -> VerifyStats:
+        """Scan every entry; quarantine the corrupt, report the rest.
+
+        A full-decode pass over the store (``python -m repro store
+        verify``): each entry must parse as JSON, carry the current schema
+        version, and decode back into :class:`PerformanceReport`\\ s.
+        Entries that fail parse/decode are quarantined exactly as a
+        :meth:`load` hitting them would; entries under an *older* schema are
+        counted (``stale_schema``) but left for ``store gc``, which owns
+        schema migration.  ``clear=True`` empties ``quarantine/`` after the
+        scan.
+        """
+        scanned = ok = quarantined = stale = 0
+        for path in list(self._entry_paths()):
+            scanned += 1
+            try:
+                payload = json.loads(path.read_text())
+                if not isinstance(payload, dict):
+                    raise ValueError(f"expected a JSON object, got "
+                                     f"{type(payload).__name__}")
+                if payload.get("schema_version") != SCHEMA_VERSION:
+                    stale += 1
+                    continue
+                for data in payload["reports"].values():
+                    decode_report(data)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    AttributeError) as error:
+                self.quarantine_entry(path, reason=f"verify: {error!r}")
+                quarantined += 1
+                continue
+            ok += 1
+        cleared = 0
+        if clear:
+            for quarantine_path in list(self.quarantine_paths()):
+                quarantine_path.unlink()
+                cleared += 1
+        backlog = len(list(self.quarantine_paths()))
+        return VerifyStats(scanned=scanned, ok=ok, quarantined=quarantined,
+                           stale_schema=stale, quarantine_backlog=backlog,
+                           cleared=cleared)
 
     def stats(self) -> StoreStats:
         """Scan the store and summarize what it holds."""
@@ -400,6 +546,7 @@ class ReportStore:
             workloads=len(workloads),
             schema_versions=versions,
             manifests=manifests,
+            quarantined=len(list(self.quarantine_paths())),
         )
 
     def gc(self) -> GcStats:
@@ -488,7 +635,31 @@ def format_stats(stats: StoreStats, session: Optional[SessionStats] = None,
     lines.append(f"  schema versions: {versions or '-'} "
                  f"(current: {SCHEMA_VERSION})")
     lines.append(f"  manifests      : {stats.manifests}")
+    lines.append(f"  quarantined    : {stats.quarantined}"
+                 + (" (inspect/clear with 'store verify')"
+                    if stats.quarantined else ""))
     if session is not None:
         lines.append(f"  this session   : {session.hits} hits, "
-                     f"{session.misses} misses, {session.writes} writes")
+                     f"{session.misses} misses, {session.writes} writes, "
+                     f"{session.quarantined} quarantined, "
+                     f"{session.io_retries} I/O retries")
+    return "\n".join(lines)
+
+
+def format_verify(outcome: VerifyStats, *, root: Optional[Path] = None) -> str:
+    """Human-readable rendering of :meth:`ReportStore.verify`."""
+    lines = []
+    if root is not None:
+        lines.append(f"verified report store at {root}")
+    lines.append(f"  scanned      : {outcome.scanned} entr(ies)")
+    lines.append(f"  ok           : {outcome.ok}")
+    lines.append(f"  quarantined  : {outcome.quarantined} (this pass)")
+    if outcome.stale_schema:
+        lines.append(f"  stale schema : {outcome.stale_schema} "
+                     f"(left in place; prune with 'store gc')")
+    if outcome.cleared:
+        lines.append(f"  cleared      : {outcome.cleared} from quarantine/")
+    lines.append(f"  quarantine   : {outcome.quarantine_backlog} file(s) "
+                 f"pending" + ("" if outcome.quarantine_backlog
+                               else " (empty)"))
     return "\n".join(lines)

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.accelerator.config import ArchitectureConfig, scaled_default_config
-from repro.experiments.registry import to_jsonable
+from repro.experiments.registry import deterministic_payload, to_jsonable
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import (
     EvaluationScheduler,
@@ -157,15 +157,15 @@ class SweepResult:
     def to_jsonable(self) -> dict:
         """JSON payload of the sweep — deterministic by construction.
 
-        The ``schedule`` statistics (how many cells were warm, served from
-        the store, or computed on how many workers) vary between an
-        interrupted-and-resumed run and an uninterrupted one, so they are
-        excluded here; a resumed sweep therefore writes *byte-identical*
-        artifacts.  Read them from :attr:`SweepResult.schedule` instead.
+        Run-dependent fields (the ``schedule`` statistics: warm/cold split,
+        store hits, pool restarts) are stripped by
+        :func:`repro.experiments.registry.deterministic_payload`, the
+        centralized identity-vs-ephemera filter — so an interrupted-and-
+        resumed run, an N-shard merged run, and an uninterrupted serial run
+        all write *byte-identical* artifacts.  Read the schedule statistics
+        from :attr:`SweepResult.schedule` in-process instead.
         """
-        payload = to_jsonable(self)
-        payload.pop("schedule", None)
-        return payload
+        return deterministic_payload(self)
 
     def write_json(self, path, *, force: bool = False) -> Path:
         path = _refusing_overwrite(path, force)
@@ -250,54 +250,89 @@ def _scaled_architecture(base: ArchitectureConfig, glb_scale: float,
     )
 
 
-def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
-               y_values: Sequence[float] = DEFAULT_Y_VALUES,
-               glb_scales: Sequence[float] = (1.0,),
-               pe_scales: Sequence[float] = (1.0,),
-               kernels: Sequence[str] = ("gram",),
-               synth: Optional[Sequence] = None,
-               base_architecture: Optional[ArchitectureConfig] = None,
-               workloads: Optional[Sequence[str]] = None,
-               scheduler: Optional[EvaluationScheduler] = None,
-               max_workers: Optional[int] = None,
-               store=None, resume: bool = False) -> SweepResult:
-    """Evaluate the full ``kernel × glb × pe × y`` grid over ``suite``.
+@dataclass(frozen=True)
+class GridPlan:
+    """Everything a grid evaluation *is*, before anything is evaluated.
 
-    ``workloads`` restricts the sweep to a subset of the suite; ``kernels``
-    adds a kernel dimension to the grid (default: the paper's Gram kernel
-    only).  ``synth`` makes sparsity *structure* the workload axis instead of
-    a suite: a sequence of :class:`~repro.tensor.synth.SynthSpec`s (or CLI
-    strings ``"model:param=value,..."``) swept as one synthetic suite, with
-    each row carrying ``model`` / ``model_params`` columns in the JSON/CSV
-    artifacts.  All grid points are batched through one scheduler prefetch;
-    pass ``max_workers=1`` (or a pre-configured ``scheduler``) to force
-    serial evaluation.
+    The plan is a pure function of its inputs: the same suite, axes and base
+    architecture always produce the same contexts, points, requests (in the
+    same order) and signature.  :func:`sweep_grid` evaluates a plan in one
+    process; :mod:`repro.experiments.shard` partitions the same plan across
+    cooperating workers and merges it back — both write identical artifacts
+    because both start from this object.
+    """
 
-    ``store`` (a :class:`~repro.experiments.store.ReportStore`) makes the
-    sweep durable: each cell is persisted as it completes and a grid
-    manifest is published before evaluation starts.  ``resume=True``
-    (requires ``store``) reruns an interrupted grid — cells already on disk
-    are not re-evaluated, and the resulting artifacts are byte-identical to
-    an uninterrupted run's.
+    suite: WorkloadSuite
+    base: ArchitectureConfig
+    y_values: tuple
+    glb_scales: tuple
+    pe_scales: tuple
+    kernels: tuple
+    contexts: tuple
+    points: tuple
+    requests: tuple
+    signature: str
+
+    @property
+    def unique_requests(self) -> List:
+        """The grid's evaluation cells, deduplicated in plan order."""
+        seen = {}
+        for request in self.requests:
+            seen.setdefault(request.memo_key, request)
+        return list(seen.values())
+
+    def manifest_payload(self, status: str, **extra) -> dict:
+        """The store manifest describing this grid (``status`` = lifecycle).
+
+        Identity fields only, plus whatever run-dependent ``extra`` the
+        caller appends (e.g. ``computed`` on completion) — manifests are
+        progress records inside the store, never artifacts, so ephemera are
+        allowed but the identity part must be byte-stable so every shard
+        worker publishes the same "in-progress" record.
+        """
+        payload = {
+            "kind": "sweep",
+            "status": status,
+            "suite_workloads": list(self.suite.names),
+            "y_values": [float(y) for y in self.y_values],
+            "glb_scales": [float(s) for s in self.glb_scales],
+            "pe_scales": [float(s) for s in self.pe_scales],
+            "kernels": [str(k) for k in self.kernels],
+            "grid_points": len(self.points),
+            "cells": len(self.requests),
+        }
+        payload.update(extra)
+        return payload
+
+
+def plan_grid(suite: Optional[WorkloadSuite] = None, *,
+              y_values: Sequence[float] = DEFAULT_Y_VALUES,
+              glb_scales: Sequence[float] = (1.0,),
+              pe_scales: Sequence[float] = (1.0,),
+              kernels: Sequence[str] = ("gram",),
+              synth: Optional[Sequence] = None,
+              base_architecture: Optional[ArchitectureConfig] = None,
+              workloads: Optional[Sequence[str]] = None) -> GridPlan:
+    """Resolve a sweep grid into its deterministic :class:`GridPlan`.
+
+    Accepts exactly the grid-shaping arguments of :func:`sweep_grid` (which
+    calls this first); the sharded runner and the ``merge``/``status``
+    subcommands call it too, so every cooperating process agrees on the cell
+    set, the request order, and the manifest signature.
     """
     if not y_values:
         raise ValueError("y_values must not be empty")
     if not kernels:
         raise ValueError("kernels must not be empty")
-    if resume and store is None:
-        raise ValueError("resume=True needs a store to resume from "
-                         "(CLI: --resume requires --store)")
     if synth is not None:
         if suite is not None:
             raise ValueError("pass either a suite or synth specs, not both")
         suite = synth_suite(synth)
     elif suite is None:
-        raise ValueError("sweep_grid needs a suite (or synth specs)")
-    synth_specs = specs_by_workload_name(suite)
+        raise ValueError("a grid needs a suite (or synth specs)")
     base = base_architecture or scaled_default_config()
     if workloads is not None:
         suite = suite.subset(list(workloads))
-    scheduler = _store_aware_scheduler(scheduler, store, max_workers)
 
     contexts: List[ExperimentContext] = []
     points: List[SweepPoint] = []
@@ -323,47 +358,35 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
     for context in contexts:
         requests.extend(requests_for_context(context))
 
-    manifest_name = None
-    if store is not None:
-        # Publish (atomically) what this sweep is about to do *before* doing
-        # it, so a crash mid-grid leaves a record the rerun can check
-        # against.  The manifest is keyed by the grid's signature: a resumed
-        # run of the same grid finds — and finishes — its predecessor's.
-        manifest_name = sweep_signature(
-            suite, y_values=y_values, glb_scales=glb_scales,
-            pe_scales=pe_scales, kernels=kernels, base=base)
-        store.write_manifest(manifest_name, {
-            "kind": "sweep",
-            "status": "in-progress",
-            "suite_workloads": list(suite.names),
-            "y_values": [float(y) for y in y_values],
-            "glb_scales": [float(s) for s in glb_scales],
-            "pe_scales": [float(s) for s in pe_scales],
-            "kernels": [str(k) for k in kernels],
-            "grid_points": len(points),
-            "cells": len(requests),
-        })
+    signature = sweep_signature(
+        suite, y_values=y_values, glb_scales=glb_scales,
+        pe_scales=pe_scales, kernels=kernels, base=base)
+    return GridPlan(
+        suite=suite,
+        base=base,
+        y_values=tuple(float(y) for y in y_values),
+        glb_scales=tuple(float(s) for s in glb_scales),
+        pe_scales=tuple(float(s) for s in pe_scales),
+        kernels=tuple(str(k) for k in kernels),
+        contexts=tuple(contexts),
+        points=tuple(points),
+        requests=tuple(requests),
+        signature=signature,
+    )
 
-    stats = scheduler.prefetch(requests)
 
-    if store is not None and manifest_name is not None:
-        store.write_manifest(manifest_name, {
-            "kind": "sweep",
-            "status": "complete",
-            "suite_workloads": list(suite.names),
-            "y_values": [float(y) for y in y_values],
-            "glb_scales": [float(s) for s in glb_scales],
-            "pe_scales": [float(s) for s in pe_scales],
-            "kernels": [str(k) for k in kernels],
-            "grid_points": len(points),
-            "cells": len(requests),
-            "computed": stats.computed,
-            "store_hits": stats.store_hits,
-        })
+def collect_result(plan: GridPlan, stats: ScheduleStats) -> SweepResult:
+    """Assemble the :class:`SweepResult` of an evaluated plan.
 
+    Every cell must already be warm (prefetched, store-served, or computed);
+    this only reads reports out of the contexts and aggregates.  Shared by
+    :func:`sweep_grid` and the shard ``merge`` so both produce artifacts
+    from literally the same code path.
+    """
+    synth_specs = specs_by_workload_name(plan.suite)
     rows: List[SweepRow] = []
     summaries: List[SweepSummary] = []
-    for context, point in zip(contexts, points):
+    for context, point in zip(plan.contexts, plan.points):
         point_rows: List[SweepRow] = []
         for name in context.workload_names:
             reports = context.reports(name)
@@ -400,13 +423,68 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
         ))
 
     return SweepResult(
-        suite_workloads=list(suite.names),
-        base_architecture=base.name,
-        points=points,
+        suite_workloads=list(plan.suite.names),
+        base_architecture=plan.base.name,
+        points=list(plan.points),
         rows=rows,
         summaries=summaries,
         schedule=stats,
     )
+
+
+def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
+               y_values: Sequence[float] = DEFAULT_Y_VALUES,
+               glb_scales: Sequence[float] = (1.0,),
+               pe_scales: Sequence[float] = (1.0,),
+               kernels: Sequence[str] = ("gram",),
+               synth: Optional[Sequence] = None,
+               base_architecture: Optional[ArchitectureConfig] = None,
+               workloads: Optional[Sequence[str]] = None,
+               scheduler: Optional[EvaluationScheduler] = None,
+               max_workers: Optional[int] = None,
+               store=None, resume: bool = False) -> SweepResult:
+    """Evaluate the full ``kernel × glb × pe × y`` grid over ``suite``.
+
+    ``workloads`` restricts the sweep to a subset of the suite; ``kernels``
+    adds a kernel dimension to the grid (default: the paper's Gram kernel
+    only).  ``synth`` makes sparsity *structure* the workload axis instead of
+    a suite: a sequence of :class:`~repro.tensor.synth.SynthSpec`s (or CLI
+    strings ``"model:param=value,..."``) swept as one synthetic suite, with
+    each row carrying ``model`` / ``model_params`` columns in the JSON/CSV
+    artifacts.  All grid points are batched through one scheduler prefetch;
+    pass ``max_workers=1`` (or a pre-configured ``scheduler``) to force
+    serial evaluation.
+
+    ``store`` (a :class:`~repro.experiments.store.ReportStore`) makes the
+    sweep durable: each cell is persisted as it completes and a grid
+    manifest is published before evaluation starts.  ``resume=True``
+    (requires ``store``) reruns an interrupted grid — cells already on disk
+    are not re-evaluated, and the resulting artifacts are byte-identical to
+    an uninterrupted run's.
+    """
+    if resume and store is None:
+        raise ValueError("resume=True needs a store to resume from "
+                         "(CLI: --resume requires --store)")
+    plan = plan_grid(suite, y_values=y_values, glb_scales=glb_scales,
+                     pe_scales=pe_scales, kernels=kernels, synth=synth,
+                     base_architecture=base_architecture, workloads=workloads)
+    scheduler = _store_aware_scheduler(scheduler, store, max_workers)
+
+    if store is not None:
+        # Publish (atomically) what this sweep is about to do *before* doing
+        # it, so a crash mid-grid leaves a record the rerun can check
+        # against.  The manifest is keyed by the grid's signature: a resumed
+        # run of the same grid finds — and finishes — its predecessor's.
+        store.write_manifest(plan.signature,
+                             plan.manifest_payload("in-progress"))
+
+    stats = scheduler.prefetch(list(plan.requests))
+
+    if store is not None:
+        store.write_manifest(plan.signature, plan.manifest_payload(
+            "complete", computed=stats.computed, store_hits=stats.store_hits))
+
+    return collect_result(plan, stats)
 
 
 def format_summaries(result: SweepResult) -> str:

@@ -1,0 +1,160 @@
+"""Deterministic fault injection for robustness tests and CLI drills.
+
+The sharded sweep protocol is built to survive crashed workers, transient
+I/O errors, and corrupt store entries — claims that are only worth anything
+if they are *exercised*.  This module is the single switchboard every layer
+consults to inject those faults on demand, in-process (tests) or across
+process boundaries (CI smoke runs, the kill-resume acceptance test) via the
+``REPRO_FAULTS`` environment variable::
+
+    REPRO_FAULTS="store.load=2,shard.kill=2" python -m repro sweep ...
+
+The spec is a comma-separated list of ``site=budget`` pairs.  Each budget
+counts *firings*: once a site's budget is exhausted the fault disarms and
+the system must behave as if it never existed (that is the whole point —
+artifacts must be byte-identical with and without transient faults).
+
+Sites
+-----
+``store.load`` / ``store.store``
+    Raise a transient :class:`OSError` from the store's read/write path,
+    inside the retry wrapper — each firing consumes one retry attempt.
+``store.corrupt``
+    Truncate the entry file just written, simulating a torn write that
+    slipped past ``os.replace`` (e.g. pre-crash page-cache loss).  The next
+    reader must quarantine it and treat the key as a miss.
+``shard.kill``
+    ``SIGKILL`` this process immediately after it *claims* its Nth grid
+    cell — a worker dying mid-evaluation while holding a lease, the
+    worst-case input to the reclaim protocol.  (``kill -9``: no handlers,
+    no cleanup, the lease file stays behind.)
+``heartbeat.stall``
+    Make lease heartbeat renewal a silent no-op, simulating a wedged
+    worker: alive, holding leases, never making progress.  Survivors must
+    observe the stalled heartbeat and reclaim.  (Stays armed while its
+    budget is positive; it does not decrement per renewal skipped.)
+
+Tests install an injector programmatically with :func:`set_injector`; the
+environment is only read once, lazily, in processes that never called it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Dict, Mapping, Optional
+
+#: Environment variable holding the fault spec for spawned processes.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Sites that stay armed (budget is a flag, not a countdown).
+_PERSISTENT_SITES = frozenset({"heartbeat.stall"})
+
+_KNOWN_SITES = frozenset({
+    "store.load", "store.store", "store.corrupt", "shard.kill",
+    "heartbeat.stall",
+})
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec that does not parse or names unknown sites."""
+
+
+class FaultInjector:
+    """Budgeted fault switchboard (see module docstring for the sites)."""
+
+    def __init__(self, budgets: Optional[Mapping[str, int]] = None):
+        budgets = dict(budgets or {})
+        unknown = sorted(set(budgets) - _KNOWN_SITES)
+        if unknown:
+            raise FaultSpecError(
+                f"unknown fault site(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(_KNOWN_SITES))}")
+        self._budgets: Dict[str, int] = {
+            site: int(count) for site, count in budgets.items() if count > 0}
+        #: Firings per site, for assertions ("both injected faults fired").
+        self.fired: Dict[str, int] = {}
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultInjector":
+        """Parse ``"site=budget,site=budget"`` (whitespace tolerated)."""
+        budgets: Dict[str, int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            site, eq, count = part.partition("=")
+            try:
+                budgets[site.strip()] = int(count) if eq else 1
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad fault budget {part!r}; expected site=N") from None
+        return cls(budgets)
+
+    # ------------------------------------------------------------------ #
+    def armed(self, site: str) -> bool:
+        """Whether ``site`` still has budget (without consuming any)."""
+        return self._budgets.get(site, 0) > 0
+
+    def consume(self, site: str) -> bool:
+        """Spend one firing of ``site``; True when the fault should happen."""
+        if not self.armed(site):
+            return False
+        if site not in _PERSISTENT_SITES:
+            self._budgets[site] -= 1
+        self.fired[site] = self.fired.get(site, 0) + 1
+        return True
+
+    # --- site-specific helpers, called from the instrumented layers ----- #
+    def maybe_raise(self, site: str) -> None:
+        """Raise an injected transient :class:`OSError` while budgeted."""
+        if self.consume(site):
+            raise OSError(f"injected transient fault at {site} "
+                          f"(firing #{self.fired[site]})")
+
+    def maybe_corrupt(self, path) -> bool:
+        """Truncate the file at ``path`` to half, if ``store.corrupt`` fires."""
+        if not self.consume("store.corrupt"):
+            return False
+        data = path.read_bytes()
+        path.write_bytes(data[:max(1, len(data) // 2)])
+        return True
+
+    def count_claimed_cell(self) -> None:
+        """``SIGKILL`` this process when the ``shard.kill`` budget hits zero.
+
+        Called by the shard runner right after each successful lease claim:
+        a budget of N kills the worker while it holds the lease on its Nth
+        cell, before the cell's result reaches the store.
+        """
+        if not self.armed("shard.kill"):
+            return
+        self._budgets["shard.kill"] -= 1
+        if self._budgets["shard.kill"] == 0:
+            self.fired["shard.kill"] = self.fired.get("shard.kill", 0) + 1
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def heartbeat_stalled(self) -> bool:
+        """Whether lease renewal should silently do nothing."""
+        return self.consume("heartbeat.stall")
+
+
+#: The inert injector: every query answers "no fault".
+_NULL = FaultInjector()
+
+_active: Optional[FaultInjector] = None
+
+
+def active() -> FaultInjector:
+    """The process-wide injector (lazily parsed from ``REPRO_FAULTS``)."""
+    global _active
+    if _active is None:
+        spec = os.environ.get(ENV_VAR, "")
+        _active = FaultInjector.from_spec(spec) if spec.strip() else _NULL
+    return _active
+
+
+def set_injector(injector: Optional[FaultInjector]) -> None:
+    """Install ``injector`` process-wide; ``None`` re-reads the environment."""
+    global _active
+    _active = injector

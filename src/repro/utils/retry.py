@@ -1,0 +1,109 @@
+"""Retry-with-exponential-backoff for transient failures.
+
+The report store and the evaluation scheduler touch shared state — files on
+a (possibly networked) filesystem, worker process pools — where failures are
+often *transient*: an NFS server hiccups, a filesystem returns ``EIO`` once,
+a pool worker is OOM-killed.  :func:`retry_transient` is the single policy
+used everywhere such an operation is retried:
+
+* **Exponential backoff** — the delay doubles per attempt, capped at
+  ``max_delay``, so a persistent failure backs off instead of hammering.
+* **Bounded, seeded jitter** — each delay is stretched by up to 25%% drawn
+  from a seeded :class:`random.Random`, decorrelating workers that fail at
+  the same instant (e.g. ten shard workers hitting one NFS hiccup) while
+  staying deterministic for tests: the jitter sequence is a pure function of
+  the seed and the call order, never of wall time.
+* **Immediate give-up classes** — ``give_up_on`` exceptions re-raise at
+  once.  ``FileNotFoundError`` is the canonical member: a missing store
+  entry is a *miss*, not a transient fault, and must not eat three backoff
+  delays before saying so.
+
+Exhausting ``attempts`` re-raises the last error unchanged, so callers'
+``except`` clauses keep working whether or not retries happened.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+#: Fraction of each backoff delay that jitter may add (bounded above).
+_JITTER_FRACTION = 0.25
+
+#: Seed of the module-wide jitter stream (used when no rng is supplied).
+_JITTER_SEED = 0x7E7A11
+
+_default_rng = random.Random(_JITTER_SEED)
+
+
+def reset_jitter_rng(seed: int = _JITTER_SEED) -> None:
+    """Re-seed the module-wide jitter stream (tests pin determinism with it)."""
+    global _default_rng
+    _default_rng = random.Random(seed)
+
+
+def backoff_delays(attempts: int, *, base_delay: float, max_delay: float,
+                   rng: Optional[random.Random] = None) -> list:
+    """The jittered delay schedule ``retry_transient`` sleeps between tries.
+
+    Exposed separately so tests (and docs) can state the policy exactly:
+    ``delay_i = min(max_delay, base_delay * 2**i) * (1 + U_i)`` with
+    ``U_i ~ Uniform[0, 0.25)`` drawn from the seeded stream.
+    """
+    rng = rng if rng is not None else _default_rng
+    return [min(max_delay, base_delay * (2 ** i))
+            * (1.0 + _JITTER_FRACTION * rng.random())
+            for i in range(max(0, attempts - 1))]
+
+
+def retry_transient(operation: Callable[[], T], *,
+                    attempts: int = 4,
+                    base_delay: float = 0.02,
+                    max_delay: float = 1.0,
+                    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+                    give_up_on: Tuple[Type[BaseException], ...] = (),
+                    rng: Optional[random.Random] = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    on_retry: Optional[Callable[[BaseException, int], None]] = None,
+                    ) -> T:
+    """Call ``operation()`` until it succeeds or ``attempts`` are exhausted.
+
+    Parameters
+    ----------
+    operation:
+        Zero-argument callable; its return value is passed through.
+    attempts:
+        Total tries (the first call counts).  ``attempts=1`` disables retry.
+    base_delay / max_delay:
+        Backoff schedule bounds in seconds (see :func:`backoff_delays`).
+    retry_on:
+        Exception classes treated as transient.
+    give_up_on:
+        Subclasses of ``retry_on`` members that re-raise immediately
+        (checked first) — e.g. ``FileNotFoundError`` under ``OSError``.
+    rng / sleep:
+        Injection points: a private jitter stream and a fake sleeper keep
+        tests deterministic and instant.
+    on_retry:
+        Optional callback ``(error, attempt_index)`` invoked before each
+        backoff sleep — the hook retry counters hang off.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    delays = backoff_delays(attempts, base_delay=base_delay,
+                            max_delay=max_delay, rng=rng)
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except give_up_on:
+            raise
+        except retry_on as error:
+            if attempt == attempts - 1:
+                raise
+            if on_retry is not None:
+                on_retry(error, attempt)
+            sleep(delays[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

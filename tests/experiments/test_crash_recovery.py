@@ -1,0 +1,126 @@
+"""Acceptance: kill -9 a real shard worker; the sweep still merges byte-exact.
+
+The scenario the tentpole exists for, run end-to-end through the CLI in
+subprocesses:
+
+1. shard worker 1/2 is launched with ``REPRO_FAULTS=shard.kill=2`` and
+   SIGKILLs itself right after *claiming* its second cell — mid-grid, lease
+   held, result never stored (the worst-case crash);
+2. shard worker 2/2 runs normally, finishes its own cells, observes the dead
+   worker's frozen heartbeat, reclaims the orphaned lease after the TTL, and
+   completes the grid;
+3. rerunning the killed shard is a clean no-op (everything already stored);
+4. ``merge`` assembles ``sweep.json``/``sweep.csv`` **byte-identical** to a
+   serial ``sweep`` of the same grid.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+GRID = ["--suite", "quick", "--y", "0.05,0.10"]
+LEASE_TTL = "0.5"
+TIMEOUT = 120
+
+
+def _run(args, cwd, *, env_extra=None, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    env.update(env_extra or {})
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd, env=env, capture_output=True, text=True, timeout=TIMEOUT)
+    if check and completed.returncode != 0:
+        raise AssertionError(
+            f"`repro {' '.join(args)}` exited {completed.returncode}:\n"
+            f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}")
+    return completed
+
+
+@pytest.fixture(scope="module")
+def serial_artifacts(tmp_path_factory):
+    """Reference bytes from a plain serial ``sweep`` of the same grid."""
+    workdir = tmp_path_factory.mktemp("serial")
+    _run(["sweep", *GRID, "--workers", "1", "--output-dir", "out"],
+         cwd=workdir)
+    return ((workdir / "out" / "sweep.json").read_bytes(),
+            (workdir / "out" / "sweep.csv").read_bytes())
+
+
+def test_killed_worker_is_survived_and_merge_is_byte_identical(
+        tmp_path, serial_artifacts):
+    store = tmp_path / "store"
+    shard_flags = ["--store", str(store), "--lease-ttl", LEASE_TTL]
+
+    # 1. Worker 1/2 SIGKILLs itself after claiming its 2nd cell.
+    killed = _run(["sweep", *GRID, "--shard", "1/2", *shard_flags],
+                  cwd=tmp_path, env_extra={"REPRO_FAULTS": "shard.kill=2"},
+                  check=False)
+    assert killed.returncode == -signal.SIGKILL
+    # It died holding a lease: the orphaned lease file is still there, with
+    # the heartbeat frozen at its initial value.
+    leases = list((store / "leases").glob("*.json"))
+    assert len(leases) == 1
+    assert json.loads(leases[0].read_text())["heartbeat"] == 0
+
+    # The grid must NOT be complete yet (the kill was mid-grid).
+    incomplete = _run(["status", *GRID, "--store", str(store)],
+                      cwd=tmp_path, check=False)
+    assert incomplete.returncode == 1
+    assert "missing" in incomplete.stdout
+
+    # 2. The surviving worker completes the grid, reclaiming the orphan.
+    survivor = _run(["sweep", *GRID, "--shard", "2/2", *shard_flags],
+                    cwd=tmp_path)
+    assert "reclaimed 1 expired lease" in survivor.stderr
+    assert "grid complete in store" in survivor.stderr
+
+    # 3. Rerunning the killed shard resumes into a clean no-op.
+    rerun = _run(["sweep", *GRID, "--shard", "1/2", *shard_flags],
+                 cwd=tmp_path)
+    assert "evaluated 0 cell(s)" in rerun.stderr
+
+    # Status now reports ready-to-merge (exit 0).
+    complete = _run(["status", *GRID, "--store", str(store)], cwd=tmp_path)
+    assert "ready to merge" in complete.stdout
+
+    # 4. Merge: byte-identical to the serial sweep.
+    _run(["merge", *GRID, "--store", str(store), "--output-dir", "merged"],
+         cwd=tmp_path)
+    serial_json, serial_csv = serial_artifacts
+    assert (tmp_path / "merged" / "sweep.json").read_bytes() == serial_json
+    assert (tmp_path / "merged" / "sweep.csv").read_bytes() == serial_csv
+
+    # The store survived the whole drill with zero corruption.
+    verify = _run(["store", "verify", "--store", str(store)], cwd=tmp_path)
+    assert "quarantined  : 0" in verify.stdout
+
+
+def test_merge_refuses_while_cells_are_missing(tmp_path):
+    store = tmp_path / "store"
+    _run(["sweep", *GRID, "--shard", "1/2", "--store", str(store),
+          "--lease-ttl", LEASE_TTL], cwd=tmp_path,
+         env_extra={"REPRO_FAULTS": "shard.kill=1"}, check=False)
+    merge = _run(["merge", *GRID, "--store", str(store), "--no-artifacts"],
+                 cwd=tmp_path, check=False)
+    assert merge.returncode == 2
+    assert "missing from the store" in merge.stderr
+
+
+def test_transient_io_faults_leave_cli_artifact_bytes_unchanged(
+        tmp_path, serial_artifacts):
+    """The CI smoke drill, as a test: faults on, bytes identical anyway."""
+    store = tmp_path / "store"
+    _run(["sweep", *GRID, "--workers", "1", "--store", str(store),
+          "--output-dir", "out"], cwd=tmp_path,
+         env_extra={"REPRO_FAULTS": "store.load=2,store.store=2"})
+    serial_json, serial_csv = serial_artifacts
+    assert (tmp_path / "out" / "sweep.json").read_bytes() == serial_json
+    assert (tmp_path / "out" / "sweep.csv").read_bytes() == serial_csv

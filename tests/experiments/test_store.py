@@ -114,12 +114,31 @@ class TestSchemaVersioning:
         with pytest.raises(StoreSchemaError, match="schema"):
             store.load(key)
 
-    def test_corrupt_entry_rejected_with_gc_hint(self, store, quick_context):
+    def test_corrupt_entry_quarantined_and_treated_as_miss(self, store,
+                                                           quick_context):
         key = _memo_key(quick_context, "tiny-fem")
         path = store.store(key, quick_context.reports("tiny-fem"))
         path.write_text("{not json")
-        with pytest.raises(StoreError, match="store gc"):
-            store.load(key)
+        # A torn/corrupt entry must never crash a reader: it is sidelined
+        # into quarantine/ and the key becomes a plain miss.
+        assert store.load(key) is None
+        assert not path.exists()
+        assert store.session.quarantined == 1
+        assert store.session.misses == 1
+        assert [p.name for p in store.quarantine_paths()] == [path.name]
+        assert store.stats().quarantined == 1
+        # The miss is recoverable: re-store and load round-trips again.
+        store.store(key, quick_context.reports("tiny-fem"))
+        assert store.load(key) is not None
+
+    def test_undecodable_reports_quarantined(self, store, quick_context):
+        key = _memo_key(quick_context, "tiny-fem")
+        path = store.store(key, quick_context.reports("tiny-fem"))
+        payload = json.loads(path.read_text())
+        del payload["reports"][next(iter(payload["reports"]))]["traffic"]
+        path.write_text(json.dumps(payload))
+        assert store.load(key) is None  # valid JSON, wrong shape -> miss
+        assert store.session.quarantined == 1
 
     def test_create_false_refuses_nonexistent_store(self, tmp_path):
         with pytest.raises(StoreError, match="no report store"):

@@ -27,8 +27,11 @@ DOCUMENTED_MODULES = (
     "repro.experiments.registry",
     "repro.experiments.store",
     "repro.experiments.search",
+    "repro.experiments.shard",
     "repro.tensor.synth",
     "repro.tensor.kernels",
+    "repro.utils.faults",
+    "repro.utils.retry",
 )
 
 

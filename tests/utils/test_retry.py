@@ -1,0 +1,148 @@
+"""Retry policy and fault-injection switchboard."""
+
+import random
+
+import pytest
+
+from repro.utils import faults
+from repro.utils.faults import FaultInjector, FaultSpecError
+from repro.utils.retry import backoff_delays, retry_transient
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_faults():
+    faults.set_injector(FaultInjector())
+    yield
+    faults.set_injector(None)
+
+
+class TestRetryTransient:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        assert retry_transient(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_transient_failures_then_success(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("hiccup")
+            return "ok"
+
+        sleeps = []
+        retried = []
+        assert retry_transient(flaky, attempts=4, sleep=sleeps.append,
+                               on_retry=lambda e, i: retried.append(i)) == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2
+        assert retried == [0, 1]
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        def always():
+            raise OSError("persistent")
+
+        sleeps = []
+        with pytest.raises(OSError, match="persistent"):
+            retry_transient(always, attempts=3, sleep=sleeps.append)
+        assert len(sleeps) == 2  # no sleep after the final failure
+
+    def test_give_up_on_raises_immediately(self):
+        """FileNotFoundError is a miss, not a transient fault: no backoff."""
+        calls = {"n": 0}
+
+        def miss():
+            calls["n"] += 1
+            raise FileNotFoundError("no entry")
+
+        sleeps = []
+        with pytest.raises(FileNotFoundError):
+            retry_transient(miss, attempts=4,
+                            give_up_on=(FileNotFoundError,),
+                            sleep=sleeps.append)
+        assert calls["n"] == 1 and sleeps == []
+
+    def test_unlisted_exception_propagates(self):
+        with pytest.raises(KeyError):
+            retry_transient(lambda: {}["x"], attempts=4,
+                            sleep=lambda _: None)
+
+    def test_attempts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="attempts"):
+            retry_transient(lambda: 1, attempts=0)
+
+
+class TestBackoffSchedule:
+    def test_exponential_capped_and_jitter_bounded(self):
+        rng = random.Random(7)
+        delays = backoff_delays(6, base_delay=0.02, max_delay=0.1, rng=rng)
+        assert len(delays) == 5
+        bases = [0.02, 0.04, 0.08, 0.1, 0.1]
+        for delay, base in zip(delays, bases):
+            assert base <= delay < base * 1.25
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = backoff_delays(5, base_delay=0.01, max_delay=1.0,
+                           rng=random.Random(3))
+        b = backoff_delays(5, base_delay=0.01, max_delay=1.0,
+                           rng=random.Random(3))
+        assert a == b
+
+    def test_jitter_decorrelates_workers(self):
+        a = backoff_delays(5, base_delay=0.01, max_delay=1.0,
+                           rng=random.Random(1))
+        b = backoff_delays(5, base_delay=0.01, max_delay=1.0,
+                           rng=random.Random(2))
+        assert a != b
+
+
+class TestFaultInjector:
+    def test_spec_round_trip(self):
+        injector = FaultInjector.from_spec("store.load=2, shard.kill=1")
+        assert injector.armed("store.load")
+        assert injector.armed("shard.kill")
+        assert not injector.armed("store.store")
+
+    def test_budget_counts_down_then_disarms(self):
+        injector = FaultInjector.from_spec("store.load=2")
+        with pytest.raises(OSError, match="injected"):
+            injector.maybe_raise("store.load")
+        with pytest.raises(OSError, match="injected"):
+            injector.maybe_raise("store.load")
+        injector.maybe_raise("store.load")  # budget spent: no-op
+        assert injector.fired["store.load"] == 2
+
+    def test_bare_site_defaults_to_budget_one(self):
+        injector = FaultInjector.from_spec("store.corrupt")
+        assert injector.armed("store.corrupt")
+        assert injector.consume("store.corrupt")
+        assert not injector.consume("store.corrupt")
+
+    def test_heartbeat_stall_is_persistent(self):
+        injector = FaultInjector.from_spec("heartbeat.stall=1")
+        assert all(injector.heartbeat_stalled() for _ in range(5))
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault site"):
+            FaultInjector.from_spec("store.explode=1")
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(FaultSpecError, match="bad fault budget"):
+            FaultInjector.from_spec("store.load=lots")
+
+    def test_corrupt_truncates_to_half(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_bytes(b"x" * 100)
+        injector = FaultInjector.from_spec("store.corrupt=1")
+        assert injector.maybe_corrupt(path)
+        assert len(path.read_bytes()) == 50
+        assert not injector.maybe_corrupt(path)  # disarmed
+
+    def test_env_spec_parsed_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "store.load=3")
+        faults.set_injector(None)  # force a re-read
+        assert faults.active().armed("store.load")
+        faults.set_injector(None)
+        monkeypatch.delenv(faults.ENV_VAR)
+        assert not faults.active().armed("store.load")
