@@ -23,7 +23,13 @@ performance trajectory to compare against.  Stages:
   vs 4 cooperative shard workers (real ``python -m repro sweep --shard i/N``
   subprocesses, see :mod:`repro.experiments.shard`), wall time from first
   launch to last exit — what multi-worker sharding buys end to end,
-  including process startup and lease traffic.
+  including process startup and lease traffic;
+* ``batch_grid`` — a cold ``y × GLB × PE-buffer × PE-count`` grid (serial,
+  one process) evaluated through the scheduler twice: once per-point
+  (``use_batch=False``, the golden loop) and once through the vectorized
+  batch engine (:mod:`repro.model.batch`), recording both wall times,
+  cells/second, and ``speedup_batch_vs_loop``.  Runs even on 1-core
+  machines — it measures the serial evaluation kernel, not pool scaling.
 
 Run with::
 
@@ -162,6 +168,76 @@ def _bench_shards(shard_counts=(1, 2, 4)) -> dict:
     return results
 
 
+def _bench_batch_grid() -> dict:
+    """Cold batched vs. per-point grid evaluation, serial, same requests.
+
+    The grid crosses ``y`` with GLB/PE-buffer scaling *and a PE-count axis*
+    (the batch evaluator's cheapest direction: PE count changes no tiling, so
+    thousands of cells share one set of occupancy reductions) — the shape a
+    design-space search over the paper's architecture actually sweeps.  Both
+    measurements start from cleared process caches and run on one worker, so
+    the difference is purely the per-cell evaluation path.
+    """
+    from repro.accelerator.config import scaled_default_config
+    from repro.experiments.scheduler import EvaluationRequest
+
+    y_values = (0.02, 0.05, 0.08, 0.10, 0.14, 0.18, 0.22, 0.30)
+    glb_scales = (0.5, 1.0, 2.0)
+    pe_scales = (0.5, 1.0, 2.0)
+    pe_counts = (2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256,
+                 384, 512, 768, 1024, 1536, 2048, 3072, 4096, 6144)
+    workload_count = 4
+
+    base = scaled_default_config()
+    suite = ExperimentContext.full().suite
+    token = suite.cache_token
+    names = list(suite.names)[:workload_count]
+
+    architectures = []
+    for glb_scale in glb_scales:
+        for pe_scale in pe_scales:
+            scaled = base.with_overrides(
+                glb_capacity_words=max(
+                    1, int(round(base.glb_capacity_words * glb_scale))),
+                pe_buffer_capacity_words=max(
+                    1, int(round(base.pe_buffer_capacity_words * pe_scale))))
+            architectures.extend(scaled.with_overrides(num_pes=count)
+                                 for count in pe_counts)
+    requests = [
+        EvaluationRequest(suite_token=token, architecture=architecture,
+                          overbooking_target=y, workload=name)
+        for name in names for architecture in architectures for y in y_values
+    ]
+
+    def cold_run(use_batch: bool) -> float:
+        clear_process_caches()
+        scheduler = EvaluationScheduler(max_workers=1, use_batch=use_batch)
+        start = time.perf_counter()
+        stats = scheduler.prefetch(requests)
+        seconds = time.perf_counter() - start
+        assert stats.computed == len(requests), "grid cells were not cold"
+        return seconds
+
+    batched = cold_run(True)
+    loop = cold_run(False)
+    cells = len(requests)
+    return {
+        "cells": cells,
+        "workloads": workload_count,
+        "grid": {
+            "y_values": len(y_values),
+            "glb_scales": len(glb_scales),
+            "pe_scales": len(pe_scales),
+            "pe_counts": len(pe_counts),
+        },
+        "batched_seconds": round(batched, 4),
+        "per_point_seconds": round(loop, 4),
+        "batched_cells_per_second": round(cells / batched, 1),
+        "per_point_cells_per_second": round(cells / loop, 1),
+        "speedup_batch_vs_loop": round(loop / batched, 2),
+    }
+
+
 def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
@@ -187,7 +263,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         parallel_note = (
             "skipped: os.cpu_count() == 1, so a worker sweep would measure "
             "pool overhead rather than scaling; re-run on multi-core "
-            "hardware")
+            "hardware (the serial batch_grid section is still measured)")
     else:
         parallel = {
             str(workers): round(_timed_parallel(workers), 4)
@@ -204,10 +280,13 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         shard_note = (
             "skipped: os.cpu_count() == 1, so concurrent shard workers "
             "would measure core contention rather than scaling; re-run on "
-            "multi-core hardware")
+            "multi-core hardware (the serial batch_grid section is still "
+            "measured)")
     else:
         shards = _bench_shards()
         shard_note = f"measured on {cpu_count} cores"
+
+    batch_grid = _bench_batch_grid()
 
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -227,8 +306,10 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         "store": store,
         "shard_scaling_seconds_by_workers": shards,
         "shard_scaling_note": shard_note,
+        "batch_grid": batch_grid,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
+        "speedup_batch_vs_loop": batch_grid["speedup_batch_vs_loop"],
     }
 
 
@@ -271,6 +352,12 @@ def main(argv=None) -> int:
             print(f"sharded sweep, {count} worker(s): {seconds:.3f}s")
     else:
         print(f"shard scaling {result['shard_scaling_note']}")
+    grid = result["batch_grid"]
+    print(f"batch grid: {grid['cells']} cells cold in "
+          f"{grid['batched_seconds']:.3f}s batched vs "
+          f"{grid['per_point_seconds']:.3f}s per-point "
+          f"({grid['speedup_batch_vs_loop']:.1f}x, "
+          f"{grid['batched_cells_per_second']:.0f} cells/s)")
     print(f"wrote {args.output}")
     return 0
 

@@ -56,6 +56,30 @@ class ArchitectureConfig:
     glb_fifo_fraction: float = 0.125
     pe_fifo_fraction: float = 0.125
 
+    def __hash__(self) -> int:
+        # Cached: grid evaluation hashes the same configuration thousands of
+        # times (report memo keys, batch dedup keys, tiler memo keys).  The
+        # field tuple matches the dataclass-generated __eq__, preserving the
+        # hash/eq contract.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.name, self.num_pes, self.glb_capacity_words,
+                           self.pe_buffer_capacity_words,
+                           self.dram_bandwidth_words_per_cycle,
+                           self.glb_bandwidth_words_per_cycle,
+                           self.frequency_hz, self.word_bits,
+                           self.metadata_words_per_nonzero,
+                           self.glb_fifo_fraction, self.pe_fifo_fraction))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # String hashes are salted per process: never ship a cached hash
+        # across the scheduler's process boundary.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     def __post_init__(self) -> None:
         check_positive_int(self.num_pes, "num_pes")
         check_positive_int(self.glb_capacity_words, "glb_capacity_words")

@@ -256,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None, metavar="N",
                      help="worker processes for the evaluation scheduler "
                           "(default: CPU count; 1 = serial)")
+    run.add_argument("--no-batch", action="store_true",
+                     help="evaluate one grid cell at a time instead of "
+                          "through the vectorized batch engine (escape "
+                          "hatch; results are bit-identical either way)")
     run.add_argument("--output-dir", type=Path, default=Path("artifacts"),
                      metavar="DIR",
                      help="where JSON artifacts are written (default: artifacts/)")
@@ -270,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_grid_arguments(sweep)
     sweep.add_argument("--workers", type=int, default=None, metavar="N",
                        help="worker processes (default: CPU count; 1 = serial)")
+    sweep.add_argument("--no-batch", action="store_true",
+                       help="evaluate one grid cell at a time instead of "
+                            "through the vectorized batch engine (escape "
+                            "hatch; artifacts are byte-identical either way)")
     sweep.add_argument("--output-dir", type=Path, default=Path("artifacts"),
                        metavar="DIR",
                        help="artifact directory (default: artifacts/)")
@@ -355,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes (default: CPU count; "
                              "1 = serial)")
+    search.add_argument("--no-batch", action="store_true",
+                        help="evaluate one design point at a time instead of "
+                             "through the vectorized batch engine (escape "
+                             "hatch; results are bit-identical either way)")
     search.add_argument("--output-dir", type=Path, default=Path("artifacts"),
                         metavar="DIR",
                         help="artifact directory (default: artifacts/)")
@@ -464,7 +476,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 args.suite, overbooking_target=args.overbooking_target,
                 kernel=args.kernel)
 
-    scheduler = EvaluationScheduler(max_workers=args.workers, store=store)
+    scheduler = EvaluationScheduler(max_workers=args.workers, store=store,
+                                    use_batch=not args.no_batch)
     start = time.perf_counter()
     if context is not None:
         stats = scheduler.prefetch_experiments(context, selected, params)
@@ -571,6 +584,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             shard=args.shard,
             store=_store_for(args),
             lease_ttl=args.lease_ttl,
+            use_batch=not args.no_batch,
             **_grid_kwargs(args),
         )
         print(format_shard_stats(stats), file=sys.stderr)
@@ -595,6 +609,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         store=_store_for(args),
         resume=args.resume,
+        use_batch=not args.no_batch,
     )
     print(format_summaries(result))
     resumed = (f" ({result.schedule.store_hits} cell(s) resumed from the "
@@ -631,6 +646,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         workloads=_parse_workload_subset(args),
         max_workers=args.workers,
         store=_store_for(args),
+        use_batch=not args.no_batch,
     )
     print(format_frontier(result))
     print(f"\nsearch evaluated {len(result.points)} design points over "

@@ -79,7 +79,15 @@ class ScheduleStats:
 
     ``warm`` counts in-process memo hits; ``store_hits`` counts requests
     served from the on-disk report store (when one is attached) and
-    ``store_writes`` the freshly computed requests persisted to it.
+    ``store_writes`` the freshly computed requests persisted to it.  Both
+    are always **per-cell** counts: the batched evaluator returns one result
+    per request of a group, and each is merged (and persisted) individually,
+    so a 100-cell batch records 100 writes, never 1.
+    ``batched`` / ``batch_groups`` record whether the cold requests went
+    through the vectorized :mod:`repro.model.batch` evaluator and how many
+    ``(suite, kernel, workload)`` groups they collapsed into;
+    ``shm_segments`` counts suites shipped to workers via shared memory
+    (:mod:`repro.tensor.shm`) instead of per-worker rebuilds.
     ``pool_restarts`` / ``degraded_serial`` record worker-pool crash
     recovery (see :meth:`EvaluationScheduler.prefetch`) — run-dependent
     ephemera, like every other field here, and therefore excluded from all
@@ -95,6 +103,9 @@ class ScheduleStats:
     store_writes: int = 0
     pool_restarts: int = 0
     degraded_serial: bool = False
+    batched: bool = False
+    batch_groups: int = 0
+    shm_segments: int = 0
 
 
 def requests_for_context(
@@ -134,13 +145,16 @@ def requests_for_context(
 # Worker side
 # --------------------------------------------------------------------- #
 #: Per-worker caches: suites keyed by token (sharing matrices and their
-#: tiling caches across requests) and contexts keyed by full configuration.
+#: tiling caches across requests), contexts keyed by full configuration, and
+#: batched evaluators keyed by ``(suite token, kernel, workload)``.
 _WORKER_SUITES: Dict[tuple, object] = {}
 _WORKER_CONTEXTS: Dict[tuple, ExperimentContext] = {}
+_WORKER_EVALUATORS: Dict[tuple, object] = {}
 
 
 def clear_worker_caches() -> None:
-    """Evict the scheduler's suite/context caches (this process only).
+    """Evict the scheduler's suite/context/evaluator caches (this process
+    only).
 
     Called by :func:`repro.experiments.runner.clear_process_caches` so a
     "cold" measurement is cold on the serial-fallback path too; worker
@@ -149,6 +163,7 @@ def clear_worker_caches() -> None:
     """
     _WORKER_SUITES.clear()
     _WORKER_CONTEXTS.clear()
+    _WORKER_EVALUATORS.clear()
 
 
 def _worker_context(request: EvaluationRequest) -> ExperimentContext:
@@ -183,6 +198,62 @@ def _evaluate_request(
     return request, context.reports(request.workload)
 
 
+def _group_key(request: EvaluationRequest) -> tuple:
+    """The batching axis: requests differing only in architecture / ``y``
+    share one workload (operands, tilings, occupancy reductions)."""
+    return (request.suite_token, request.kernel, request.workload)
+
+
+def workload_evaluator(request: EvaluationRequest):
+    """The (cached) batched evaluator for a request's ``(kernel, workload)``.
+
+    Builds the workload through the same suite/context caches the per-point
+    path uses, so operands — and every tiling memoized on them — are shared
+    between the two paths bit-for-bit.
+    """
+    from repro.model.batch import BatchWorkloadEvaluator
+
+    key = _group_key(request)
+    evaluator = _WORKER_EVALUATORS.get(key)
+    if evaluator is None:
+        context = _worker_context(request)
+        evaluator = BatchWorkloadEvaluator(context.workload(request.workload))
+        _WORKER_EVALUATORS[key] = evaluator
+    return evaluator
+
+
+def _evaluate_request_group(
+        unit: Tuple[EvaluationRequest, ...],
+) -> List[Tuple[EvaluationRequest, Dict[str, PerformanceReport]]]:
+    """Worker entry point for one batch group: every (architecture, y) cell
+    of one ``(suite, kernel, workload)`` through the vectorized evaluator.
+
+    Returns one ``(request, reports)`` pair *per cell* — the parent merges
+    (and persists) each individually, so store accounting stays per-cell.
+    """
+    evaluator = workload_evaluator(unit[0])
+    evaluator.prime([(request.architecture, request.overbooking_target)
+                     for request in unit])
+    return [(request, evaluator.reports(request.architecture,
+                                        request.overbooking_target))
+            for request in unit]
+
+
+def _evaluate_request_loop(
+        unit: Tuple[EvaluationRequest, ...],
+) -> List[Tuple[EvaluationRequest, Dict[str, PerformanceReport]]]:
+    """Worker entry point for one unit on the golden per-point path."""
+    return [_evaluate_request(request) for request in unit]
+
+
+def _attach_worker_suites(manifests) -> None:
+    """Pool initializer: attach shared-memory suites before any request runs."""
+    from repro.tensor import shm
+
+    for manifest in manifests:
+        shm.attach_suite(manifest)
+
+
 # --------------------------------------------------------------------- #
 # Parent side
 # --------------------------------------------------------------------- #
@@ -202,15 +273,28 @@ class EvaluationScheduler:
         requests are looked up in it before any evaluation happens, and
         computed reports are persisted to it as they complete (making the
         batch resumable after a crash).
+    use_batch:
+        Evaluate cold requests through the vectorized grid evaluator
+        (:mod:`repro.model.batch`), grouping cells by ``(suite, kernel,
+        workload)`` so shared tilings and scaffolding are computed once per
+        group.  Bit-identical to the per-point path; ``False`` (CLI:
+        ``--no-batch``) forces the golden per-point loop.
+    use_shared_memory:
+        Ship suites to pool workers through one shared-memory segment
+        (:mod:`repro.tensor.shm`) instead of letting every worker rebuild
+        them from seeds.  Falls back transparently when unavailable.
     """
 
     def __init__(self, max_workers: Optional[int] = None, *,
-                 min_parallel_requests: int = 4, store=None):
+                 min_parallel_requests: int = 4, store=None,
+                 use_batch: bool = True, use_shared_memory: bool = True):
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         self.max_workers = max(1, int(max_workers))
         self.min_parallel_requests = max(1, int(min_parallel_requests))
         self.store = store
+        self.use_batch = bool(use_batch)
+        self.use_shared_memory = bool(use_shared_memory)
 
     # ------------------------------------------------------------------ #
     def prefetch(self, requests: Sequence[EvaluationRequest]) -> ScheduleStats:
@@ -256,50 +340,108 @@ class EvaluationScheduler:
                 # interrupted batch keeps everything it finished.
                 self.store.store(request.memo_key, reports)
 
+        # The unit of fan-out: with batching, one unit is every cold cell of
+        # a (suite, kernel, workload) group — the vectorized evaluator
+        # computes the group's shared tilings/reductions once and emits one
+        # report set per cell; without, each unit is a single request.
+        if self.use_batch:
+            groups: Dict[tuple, List[EvaluationRequest]] = {}
+            for request in cold:
+                groups.setdefault(_group_key(request), []).append(request)
+            units = [tuple(group) for group in groups.values()]
+            evaluate_unit = _evaluate_request_group
+        else:
+            units = [(request,) for request in cold]
+            evaluate_unit = _evaluate_request_loop
+
         pool_restarts = 0
         degraded_serial = False
-        workers = min(self.max_workers, len(cold))
+        shm_segments = 0
+        workers = min(self.max_workers, len(units))
         if workers <= 1 or len(cold) < self.min_parallel_requests:
-            for request in cold:
-                _, reports = _evaluate_request(request)
-                merge(request, reports)
+            for unit in units:
+                for request, reports in evaluate_unit(unit):
+                    merge(request, reports)
             workers = min(workers, 1)
         else:
+            # Ship each suite to the workers once, through shared memory —
+            # O(1) in suite bytes instead of one rebuild per worker.  Pairs
+            # are exported only when some cold kernel streams them.
+            manifests = []
+            exported_tokens = []
+            if self.use_shared_memory:
+                from repro.tensor import shm
+                from repro.tensor.kernels import kernel_spec
+
+                needs_pair: Dict[tuple, bool] = {}
+                names_by_token: Dict[tuple, Dict[str, None]] = {}
+                for request in cold:
+                    token = request.suite_token
+                    names_by_token.setdefault(token, {})[request.workload] = None
+                    needs_pair[token] = (
+                        needs_pair.get(token, False)
+                        or kernel_spec(request.kernel).needs_paired_operand)
+                for token, names in names_by_token.items():
+                    manifest = shm.export_suite(
+                        token, list(names), include_pairs=needs_pair[token])
+                    if manifest is not None:
+                        manifests.append(manifest)
+                        exported_tokens.append(token)
+            shm_segments = len(manifests)
+            initializer = _attach_worker_suites if manifests else None
+            initargs = (tuple(manifests),) if manifests else ()
+
             # A worker dying (OOM kill, segfault, node eviction) surfaces as
             # BrokenProcessPool with everything in flight lost.  The batch is
             # pure and resumable, so recover instead of crashing the sweep:
             # respawn the pool once and retry what never merged; if the pool
             # breaks again, degrade to in-process evaluation — slow beats
             # dead, and every result merged so far is kept either way.
-            pending = list(cold)
-            while pending:
-                chunksize = max(1, -(-len(pending) // (workers * 4)))
-                try:
-                    with ProcessPoolExecutor(max_workers=workers) as executor:
-                        for request, reports in executor.map(
-                                _evaluate_request, pending,
-                                chunksize=chunksize):
-                            merge(request, reports)
-                    pending = []
-                except BrokenProcessPool:
-                    pending = [request for request in pending
-                               if request.memo_key not in merged_keys]
-                    pool_restarts += 1
-                    if pool_restarts > 1:
-                        print(f"[scheduler] worker pool broke twice; "
-                              f"degrading to serial in-process evaluation "
-                              f"of the remaining {len(pending)} request(s)",
-                              file=sys.stderr)
-                        for request in pending:
-                            _, reports = _evaluate_request(request)
-                            merge(request, reports)
+            try:
+                pending = list(units)
+                while pending:
+                    chunksize = max(1, -(-len(pending) // (workers * 4)))
+                    try:
+                        with ProcessPoolExecutor(
+                                max_workers=workers,
+                                initializer=initializer,
+                                initargs=initargs) as executor:
+                            for results in executor.map(
+                                    evaluate_unit, pending,
+                                    chunksize=chunksize):
+                                for request, reports in results:
+                                    merge(request, reports)
                         pending = []
-                        degraded_serial = True
-                    else:
-                        print(f"[scheduler] worker pool broke (a worker "
-                              f"died, e.g. OOM-killed); respawning the pool "
-                              f"to retry the remaining {len(pending)} "
-                              f"request(s)", file=sys.stderr)
+                    except BrokenProcessPool:
+                        pending = [
+                            unit for unit in
+                            (tuple(request for request in unit
+                                   if request.memo_key not in merged_keys)
+                             for unit in pending)
+                            if unit]
+                        remaining = sum(len(unit) for unit in pending)
+                        pool_restarts += 1
+                        if pool_restarts > 1:
+                            print(f"[scheduler] worker pool broke twice; "
+                                  f"degrading to serial in-process evaluation "
+                                  f"of the remaining {remaining} request(s)",
+                                  file=sys.stderr)
+                            for unit in pending:
+                                for request, reports in evaluate_unit(unit):
+                                    merge(request, reports)
+                            pending = []
+                            degraded_serial = True
+                        else:
+                            print(f"[scheduler] worker pool broke (a worker "
+                                  f"died, e.g. OOM-killed); respawning the "
+                                  f"pool to retry the remaining {remaining} "
+                                  f"request(s)", file=sys.stderr)
+            finally:
+                if self.use_shared_memory and exported_tokens:
+                    from repro.tensor import shm
+
+                    for token in exported_tokens:
+                        shm.release_suite(token)
 
         return ScheduleStats(
             requested=len(requests),
@@ -311,6 +453,9 @@ class EvaluationScheduler:
             store_writes=len(cold) if self.store is not None else 0,
             pool_restarts=pool_restarts,
             degraded_serial=degraded_serial,
+            batched=self.use_batch,
+            batch_groups=len(units) if self.use_batch else 0,
+            shm_segments=shm_segments,
         )
 
     def prefetch_context(

@@ -235,11 +235,12 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
                     workloads: Optional[Sequence[str]] = None,
                     scheduler: Optional[EvaluationScheduler] = None,
                     max_workers: Optional[int] = None,
-                    store=None) -> FrontierResult:
+                    store=None, use_batch: bool = True) -> FrontierResult:
     """Generationally explore the ``(y, GLB, PE)`` space, keep the frontier.
 
     Parameters mirror :func:`~repro.experiments.sweep.sweep_grid` where they
-    overlap (``suite``/``synth``/``kernels``/``workloads``/``store``); the
+    overlap (``suite``/``synth``/``kernels``/``workloads``/``store``/
+    ``use_batch``); the
     search-specific knobs are the seed axes (``y_values``, ``glb_scales``,
     ``pe_scales``), ``max_generations`` (generation 0 is the seed grid; each
     further generation refines the axes around the current frontier and
@@ -266,7 +267,8 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
         suite = suite.subset(list(workloads))
     synth_specs = specs_by_workload_name(suite)
     base = base_architecture or scaled_default_config()
-    scheduler = _store_aware_scheduler(scheduler, store, max_workers)
+    scheduler = _store_aware_scheduler(scheduler, store, max_workers,
+                                       use_batch=use_batch)
 
     axes = {
         "y": sorted(_round(y) for y in y_values),

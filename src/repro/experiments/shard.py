@@ -59,6 +59,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments.scheduler import (
     EvaluationScheduler,
     _evaluate_request,
+    workload_evaluator,
 )
 from repro.experiments.runner import store_memoized_reports
 from repro.experiments.store import (
@@ -349,6 +350,7 @@ def run_shard(suite=None, *, shard, store: ReportStore,
               poll_interval: Optional[float] = None,
               steal: bool = True,
               owner: Optional[str] = None,
+              use_batch: bool = True,
               clock: Callable[[], float] = time.monotonic,
               sleep: Callable[[float], None] = time.sleep) -> ShardRunStats:
     """Run one worker of a cooperative sharded sweep.
@@ -363,6 +365,13 @@ def run_shard(suite=None, *, shard, store: ReportStore,
     is absent or expired, polling until every outstanding cell is stored or
     visibly owned by a live peer.  Results are persisted per cell, so a
     worker dying at any instant loses at most the cell it was computing.
+
+    ``use_batch`` evaluates cells through the per-``(kernel, workload)``
+    vectorized evaluator (:mod:`repro.model.batch`) — bit-identical reports,
+    shared tiling/scaffolding work across a workload's cells — while the
+    claim → heartbeat → evaluate → store → release protocol stays strictly
+    per cell, so lease semantics (and the fault drills that pin them down)
+    are unchanged.  ``False`` forces the golden per-point path.
 
     ``clock``/``sleep``/``poll_interval``/``owner`` are injection points for
     deterministic tests; real deployments leave them defaulted.
@@ -390,6 +399,12 @@ def run_shard(suite=None, *, shard, store: ReportStore,
     injector = faults.active()
     counters = {"evaluated": 0, "stolen": 0}
 
+    def evaluate(request):
+        if not use_batch:
+            return _evaluate_request(request)[1]
+        return workload_evaluator(request).reports(
+            request.architecture, request.overbooking_target)
+
     def process(requests: List) -> List:
         """Claim-and-evaluate each request; return the unclaimable ones."""
         pending = []
@@ -405,7 +420,7 @@ def run_shard(suite=None, *, shard, store: ReportStore,
             injector.count_claimed_cell()
             try:
                 with lease.keepalive():
-                    _, reports = _evaluate_request(request)
+                    reports = evaluate(request)
                     store_memoized_reports(request.memo_key, reports)
                     store.store(request.memo_key, reports)
             finally:

@@ -63,9 +63,27 @@ class SparseMatrix:
         obj._init_from_csr(sp.csr_matrix(csr, copy=False), name)
         return obj
 
+    @classmethod
+    def _from_canonical_csr(cls, csr: sp.csr_matrix, name: str) -> "SparseMatrix":
+        """Wrap a CSR matrix already in canonical form, without normalizing.
+
+        Canonical means: no explicit zeros, indices sorted within each row.
+        The normalization pass in ``_init_from_csr`` *mutates* the CSR
+        buffers, which is illegal for matrices whose arrays are read-only
+        views into a shared-memory segment (:mod:`repro.tensor.shm`) — the
+        exporter guarantees canonical form (every exported matrix came out of
+        the normalizing constructor), so this trusted path just attaches.
+        """
+        obj = cls.__new__(cls)
+        obj._attach_csr(csr, name)
+        return obj
+
     def _init_from_csr(self, csr: sp.csr_matrix, name: str) -> None:
         csr.eliminate_zeros()
         csr.sort_indices()
+        self._attach_csr(csr, name)
+
+    def _attach_csr(self, csr: sp.csr_matrix, name: str) -> None:
         if csr.ndim != 2:
             raise ValueError("SparseMatrix only supports two-dimensional tensors")
         self._csr = csr

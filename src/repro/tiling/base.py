@@ -193,6 +193,66 @@ class ExplicitGeometry:
         return self.row_starts, self.row_stops, self.col_starts, self.col_stops
 
 
+@dataclass(frozen=True)
+class OccupancyReductions:
+    """Exact integer reductions of one occupancy array at one buffer config.
+
+    Every scalar the analytical engine derives from an occupancy array at a
+    given ``(capacity, fifo_words)`` — fetch sums under each
+    :class:`~repro.model.traffic.FetchPolicy`, chunk counts, overbooking and
+    utilization statistics — is an affine function of the sums below.  All
+    occupancies are exact ``int64`` values far below 2**53, so float64 array
+    sums over them are exact integers and the Python-int arithmetic here is
+    *bit-identical* to the engine's NumPy expressions; the batched grid
+    evaluator (:mod:`repro.model.batch`) leans on that to reproduce the
+    per-point path byte for byte.  Instances are cached per tiling (see
+    :meth:`Tiling.occupancy_reductions`), so the O(num_tiles) array passes run
+    once per ``(tiling, capacity, fifo)`` no matter how many grid
+    configurations share them.
+    """
+
+    capacity: int
+    fifo_words: int
+    num_tiles: int
+    #: Σ occ over all tiles (== matrix nnz for a valid tiling).
+    total: int
+    #: Σ occ over tiles with ``occ <= capacity``.
+    fit_sum: int
+    #: Σ occ over tiles with ``occ > capacity``.
+    over_sum: int
+    #: Number of tiles with ``occ > capacity``.
+    over_count: int
+    #: ``int(np.ceil(occ / capacity).sum())`` — per-tile chunk count.
+    chunks: int
+
+    @property
+    def resident(self) -> int:
+        """Tailors resident-region size: ``max(1, capacity - fifo_words)``."""
+        return max(1, self.capacity - self.fifo_words)
+
+    @property
+    def bumped_sum(self) -> int:
+        """Σ (occ - resident) over overbooked tiles (the re-streamed tails)."""
+        return self.over_sum - self.over_count * self.resident
+
+    def fetch_total(self, passes: int, policy) -> int:
+        """``operand_fetches(occ, capacity, ...).sum()`` as an exact integer.
+
+        Mirrors :func:`repro.model.traffic.operand_fetches` per policy:
+        FIT/BUFFET re-fetch an overbooked tile in full on each of ``passes``
+        scans; TAILORS keeps the resident head and re-streams only the bumped
+        tail.
+        """
+        from repro.model.traffic import FetchPolicy
+
+        if policy in (FetchPolicy.FIT, FetchPolicy.BUFFET):
+            return self.fit_sum + passes * self.over_sum
+        if policy is FetchPolicy.TAILORS:
+            return (self.fit_sum + self.over_count * self.resident
+                    + passes * self.bumped_sum)
+        raise ValueError(f"unknown policy {policy!r}")
+
+
 class Tiling:
     """A complete partitioning of a matrix into tiles (array-backed).
 
@@ -205,7 +265,8 @@ class Tiling:
     results share them across accelerator variants.
     """
 
-    __slots__ = ("matrix", "strategy", "tax", "_occupancies", "_geometry")
+    __slots__ = ("matrix", "strategy", "tax", "_occupancies", "_geometry",
+                 "_reductions")
 
     def __init__(self, matrix: SparseMatrix, strategy: str, occupancies,
                  geometry, tax: TilingTax | None = None):
@@ -222,6 +283,7 @@ class Tiling:
         self.tax = tax or TilingTax()
         self._occupancies = occ
         self._geometry = geometry
+        self._reductions: dict = {}
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -321,6 +383,39 @@ class Tiling:
         if not self._occupancies.size:
             return 0
         return int(np.maximum(self._occupancies - capacity, 0).sum())
+
+    def occupancy_reductions(self, capacity: int,
+                             fifo_words: int = 1) -> OccupancyReductions:
+        """Cached exact reductions of the occupancies at one buffer config.
+
+        The cache lives on the tiling instance, so everything that shares a
+        (memoized) tiling — both memory levels, every grid configuration of a
+        batched sweep — shares the reductions too.
+        """
+        check_positive_int(capacity, "capacity")
+        check_positive_int(fifo_words, "fifo_words")
+        key = (int(capacity), int(fifo_words))
+        cached = self._reductions.get(key)
+        if cached is None:
+            occ = self._occupancies
+            fits = occ <= capacity
+            num_tiles = int(occ.size)
+            total = int(occ.sum()) if num_tiles else 0
+            fit_sum = int(occ[fits].sum()) if num_tiles else 0
+            over_count = num_tiles - int(fits.sum()) if num_tiles else 0
+            chunks = int(np.ceil(occ / capacity).sum()) if num_tiles else 0
+            cached = OccupancyReductions(
+                capacity=int(capacity),
+                fifo_words=int(fifo_words),
+                num_tiles=num_tiles,
+                total=total,
+                fit_sum=fit_sum,
+                over_sum=total - fit_sum,
+                over_count=over_count,
+                chunks=chunks,
+            )
+            self._reductions[key] = cached
+        return cached
 
     def buffer_utilization(self, capacity: int) -> float:
         """Average fraction of the buffer occupied while each tile is resident.

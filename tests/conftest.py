@@ -43,3 +43,21 @@ def uniform() -> SparseMatrix:
 def test_suite():
     """The three-workload test suite (session-scoped: built once)."""
     return small_suite()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shared_memory():
+    """Fail any test that leaves a shared-memory suite segment exported.
+
+    Every :func:`repro.tensor.shm.export_suite` must be paired with a
+    release; an unreleased segment would outlive the process as a file in
+    ``/dev/shm``.  Checked after every test so the leaking test is the one
+    that fails.
+    """
+    yield
+    from repro.tensor import shm
+
+    leaked = shm.active_segments()
+    if leaked:
+        shm.release_all()  # don't let one leak cascade into later tests
+        raise AssertionError(f"leaked shared-memory segments: {leaked}")

@@ -110,8 +110,14 @@ class _FlakyPool:
 
     breaks_remaining = 0
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
         self.max_workers = max_workers
+        # The shared-memory attach initializer is exercised against a real
+        # pool in tests/experiments/test_sweep_batch.py; this in-process
+        # stand-in runs with the parent's caches already warm, so calling
+        # it here would only re-attach the parent's own segment.
+        self.initializer = initializer
+        self.initargs = initargs
 
     def __enter__(self):
         return self

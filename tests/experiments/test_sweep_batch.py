@@ -1,0 +1,58 @@
+"""Sweep artifacts are byte-identical with and without the batch engine.
+
+The batch evaluator's contract is stronger than numerical agreement: a grid
+swept through :func:`repro.experiments.sweep.sweep_grid` must serialize to
+the *same bytes* whether evaluated per-point (``use_batch=False``), batched
+serially, or batched across a worker pool with shared-memory suite
+transport.  These tests pin that end to end (the CI smoke step repeats the
+serial comparison through the CLI).
+"""
+
+import pytest
+
+from repro.experiments.runner import clear_process_caches
+from repro.experiments.sweep import sweep_grid
+from repro.tensor.suite import small_suite
+
+GRID = dict(y_values=(0.05, 0.10), glb_scales=(0.5, 1.0), pe_scales=(1.0,))
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_process_caches()
+    yield
+    clear_process_caches()
+
+
+def _artifacts(tmp_path, tag, *, use_batch, max_workers=1):
+    clear_process_caches()
+    result = sweep_grid(small_suite(), max_workers=max_workers,
+                        use_batch=use_batch, **GRID)
+    json_path = result.write_json(tmp_path / f"{tag}.json")
+    csv_path = result.write_csv(tmp_path / f"{tag}.csv")
+    return json_path.read_bytes(), csv_path.read_bytes(), result
+
+
+def test_batched_sweep_artifacts_byte_identical(tmp_path):
+    batched_json, batched_csv, batched = _artifacts(tmp_path, "batched",
+                                                    use_batch=True)
+    loop_json, loop_csv, loop = _artifacts(tmp_path, "loop", use_batch=False)
+    assert batched.schedule.batched and not loop.schedule.batched
+    assert batched.schedule.batch_groups == len(small_suite().names)
+    assert batched_json == loop_json
+    assert batched_csv == loop_csv
+
+
+def test_pooled_batched_sweep_matches_serial(tmp_path):
+    serial_json, serial_csv, _ = _artifacts(tmp_path, "serial",
+                                            use_batch=True, max_workers=1)
+    pooled_json, pooled_csv, pooled = _artifacts(tmp_path, "pooled",
+                                                 use_batch=True,
+                                                 max_workers=2)
+    assert pooled.schedule.workers == 2
+    assert serial_json == pooled_json
+    assert serial_csv == pooled_csv
+    # The pool's shared-memory exports must all be released afterwards.
+    from repro.tensor import shm
+
+    assert shm.active_segments() == []

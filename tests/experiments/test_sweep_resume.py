@@ -26,31 +26,34 @@ class TestResume:
                                                         monkeypatch):
         """The acceptance criterion, end to end.
 
-        A sweep is killed mid-grid (after 2 of 6 cells), the process dies
-        (simulated by clearing every in-process memo), and the rerun with
-        ``resume=True`` must (a) re-evaluate only the missing cells and
-        (b) write byte-identical JSON/CSV to an uninterrupted run.
+        A sweep is killed mid-grid (after the first batch unit — 2 of 6
+        cells), the process dies (simulated by clearing every in-process
+        memo), and the rerun with ``resume=True`` must (a) re-evaluate only
+        the missing cells and (b) write byte-identical JSON/CSV to an
+        uninterrupted run.
         """
         clean_json, clean_csv = _run_clean(tmp_path)
 
-        # --- interrupted run: crash after the 2nd evaluated cell ---------
+        # --- interrupted run: crash after the 1st evaluated unit ----------
+        # (a unit is one workload's y-axis group: 2 cells of the 6)
         clear_process_caches()
         store = ReportStore(tmp_path / "store")
-        real_evaluate = scheduler_mod._evaluate_request
+        real_evaluate = scheduler_mod._evaluate_request_group
         calls = {"n": 0}
 
-        def dying_evaluate(request):
-            if calls["n"] >= 2:
+        def dying_evaluate(unit):
+            if calls["n"] >= 1:
                 raise KeyboardInterrupt("simulated crash mid-grid")
             calls["n"] += 1
-            return real_evaluate(request)
+            return real_evaluate(unit)
 
-        monkeypatch.setattr(scheduler_mod, "_evaluate_request",
+        monkeypatch.setattr(scheduler_mod, "_evaluate_request_group",
                             dying_evaluate)
         with pytest.raises(KeyboardInterrupt):
             sweep_grid(small_suite(), y_values=Y_VALUES, max_workers=1,
                        store=store)
-        monkeypatch.setattr(scheduler_mod, "_evaluate_request", real_evaluate)
+        monkeypatch.setattr(scheduler_mod, "_evaluate_request_group",
+                            real_evaluate)
 
         # The two finished cells are durable; the manifest records the grid.
         assert store.stats().entries == 2

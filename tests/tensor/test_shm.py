@@ -1,0 +1,105 @@
+"""Tests for the shared-memory suite transport (:mod:`repro.tensor.shm`)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import clear_process_caches
+from repro.tensor import shm
+from repro.tensor.suite import _SHARED_MATRIX_CACHE, small_suite, suite_from_token
+
+
+@pytest.fixture
+def token():
+    return small_suite().cache_token
+
+
+def _export(token, **kwargs):
+    names = list(suite_from_token(token).names)
+    manifest = shm.export_suite(token, names, **kwargs)
+    if manifest is None:
+        pytest.skip("shared memory unavailable in this environment")
+    return manifest
+
+
+class TestExportAttachRoundtrip:
+    def test_attached_matrices_are_canonical_views(self, token):
+        suite = suite_from_token(token)
+        names = list(suite.names)
+        manifest = _export(token)
+        try:
+            assert shm.active_segments() == [manifest.segment_name]
+            originals = {name: suite.matrix(name) for name in names}
+            # Cold cache, as in a worker that never built a matrix.
+            clear_process_caches()
+            shm.attach_suite(manifest)
+            scope, seed, _ = token
+            for name in names:
+                cached = _SHARED_MATRIX_CACHE[(scope, seed, name)]
+                want = originals[name]
+                assert cached.num_rows == want.num_rows
+                assert cached.num_cols == want.num_cols
+                assert np.array_equal(cached.csr.indptr, want.csr.indptr)
+                assert np.array_equal(cached.csr.indices, want.csr.indices)
+                assert np.array_equal(cached.csr.data, want.csr.data)
+                # Zero-copy views are read-only and marked canonical.
+                assert not cached.csr.data.flags.writeable
+                assert cached.csr.has_sorted_indices
+        finally:
+            # Drop every view into the segment (the loop variable included)
+            # before closing it, or mmap.close() raises BufferError.
+            cached = want = None
+            clear_process_caches()
+            shm.detach_all()
+            shm.release_suite(token)
+        assert shm.active_segments() == []
+
+    def test_attach_is_idempotent(self, token):
+        manifest = _export(token)
+        try:
+            shm.attach_suite(manifest)
+            shm.attach_suite(manifest)  # second attach is a no-op
+        finally:
+            clear_process_caches()
+            shm.detach_all()
+            shm.release_suite(token)
+
+    def test_export_includes_pairs_when_requested(self, token):
+        manifest = _export(token, include_pairs=True)
+        try:
+            keys = [key for key, _ in manifest.entries]
+            assert any(len(key) == 4 and key[3] == "pair" for key in keys)
+        finally:
+            shm.release_suite(token)
+
+
+class TestLifecycle:
+    def test_reference_counted_release(self, token):
+        first = _export(token)
+        second = _export(token)
+        # Same segment, same manifest: re-export bumps the count.
+        assert second.segment_name == first.segment_name
+        assert shm.active_segments() == [first.segment_name]
+        shm.release_suite(token)
+        assert shm.active_segments() == [first.segment_name]
+        shm.release_suite(token)
+        assert shm.active_segments() == []
+        shm.release_suite(token)  # over-release is a no-op
+        assert shm.active_segments() == []
+
+    def test_release_all_ignores_refcounts(self, token):
+        _export(token)
+        _export(token)
+        shm.release_all()
+        assert shm.active_segments() == []
+
+
+class TestGracefulDegradation:
+    def test_attach_missing_segment_is_silent(self):
+        manifest = shm.SuiteManifest(
+            segment_name="repro-shm-test-does-not-exist",
+            suite_token=("small", 2023, ("tiny-fem",)),
+            entries=())
+        shm.attach_suite(manifest)  # must not raise
+
+    def test_attach_none_is_silent(self):
+        shm.attach_suite(None)
