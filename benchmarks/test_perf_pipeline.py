@@ -34,6 +34,27 @@ def test_cold_all_reports_within_budget(benchmark, run_once):
     )
 
 
+def test_surrogate_search_reduces_exact_evaluations():
+    """The surrogate-ranked search must reproduce the brute-force frontier
+    exactly on the benchmark grid while exactly evaluating >= 3x fewer
+    configurations (measured 3.75x when this gate was added)."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+    from bench_pipeline import _bench_search
+
+    result = _bench_search()
+    assert result["frontier_equal"], (
+        "surrogate frontier diverged from brute force on the pinned grid")
+    assert result["frontier_precision"] == 1.0
+    assert result["frontier_recall"] == 1.0
+    assert result["evaluation_reduction"] >= 3.0, (
+        f"surrogate only cut exact evaluations by "
+        f"{result['evaluation_reduction']:.2f}x; the gate requires >= 3x"
+    )
+
+
 def test_warm_context_reuses_memoized_pipeline():
     # Warm the process-wide memos, then measure a brand-new context.
     ExperimentContext.full().all_reports()

@@ -29,7 +29,13 @@ performance trajectory to compare against.  Stages:
   (``use_batch=False``, the golden loop) and once through the vectorized
   batch engine (:mod:`repro.model.batch`), recording both wall times,
   cells/second, and ``speedup_batch_vs_loop``.  Runs even on 1-core
-  machines — it measures the serial evaluation kernel, not pool scaling.
+  machines — it measures the serial evaluation kernel, not pool scaling;
+* ``search`` — the design-space search benchmark grid run twice: brute
+  force (every candidate exactly evaluated) vs. surrogate-ranked
+  (:mod:`repro.experiments.surrogate`), recording wall times, exact
+  evaluation counts, the reduction factor, and the surrogate frontier's
+  precision/recall against the brute-force frontier (pinned at 1.0/1.0 —
+  the frontiers must be identical).
 
 Run with::
 
@@ -121,6 +127,15 @@ def _bench_store() -> dict:
         load_seconds = time.perf_counter() - start
         loads = rounds * len(keys)
 
+        # Bulk lookup (one scandir per shard instead of one open per key):
+        # what the scheduler's prefetch pays when warm-starting a search.
+        clear_process_caches()
+        bulk_reader = ReportStore(store_dir)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            assert len(bulk_reader.load_many(keys)) == len(keys)
+        bulk_seconds = time.perf_counter() - start
+
     return {
         "sweep_cells": result.schedule.unique,
         "sweep_cold_write_seconds": round(cold, 4),
@@ -128,6 +143,7 @@ def _bench_store() -> dict:
         "warm_vs_cold_speedup": round(cold / warm, 2),
         "store_hit_entries_per_second": round(loads / load_seconds, 1),
         "store_hit_reports_per_second": round(3 * loads / load_seconds, 1),
+        "store_bulk_load_entries_per_second": round(loads / bulk_seconds, 1),
     }
 
 
@@ -238,6 +254,66 @@ def _bench_batch_grid() -> dict:
     }
 
 
+#: The design-space search benchmark grid: large enough that the surrogate
+#: trains, verifies, and pays for itself, validated to reproduce the
+#: brute-force frontier exactly (the golden tests pin the same grid).
+SEARCH_BENCH_GRID = dict(
+    kernels=("gram",),
+    y_values=(0.02, 0.05, 0.10, 0.22),
+    glb_scales=(0.4, 0.7, 1.0, 1.5),
+    pe_scales=(0.5, 1.0, 2.0),
+    max_generations=4,
+    max_evaluations=100000,
+    max_workers=1,
+)
+
+
+def _frontier_keys(result):
+    """Comparable per-group frontier membership: (kernel, workload, config)."""
+    return {(p.kernel, p.workload, p.config) for p in result.frontier}
+
+
+def _bench_search() -> dict:
+    """Brute-force vs. surrogate-ranked design-space search on one grid."""
+    from repro.experiments.search import search_frontier
+    from repro.tensor.suite import small_suite
+
+    def cold_run(use_surrogate: bool):
+        clear_process_caches()
+        start = time.perf_counter()
+        result = search_frontier(small_suite(), use_surrogate=use_surrogate,
+                                 **SEARCH_BENCH_GRID)
+        return result, time.perf_counter() - start
+
+    brute, brute_seconds = cold_run(False)
+    surrogate, surrogate_seconds = cold_run(True)
+
+    brute_evals = sum(s.evaluated_configs for s in brute.generations)
+    surrogate_evals = sum(s.evaluated_configs for s in surrogate.generations)
+    brute_frontier = _frontier_keys(brute)
+    surrogate_frontier = _frontier_keys(surrogate)
+    true_positives = len(surrogate_frontier & brute_frontier)
+
+    return {
+        "grid": {
+            "y_values": len(SEARCH_BENCH_GRID["y_values"]),
+            "glb_scales": len(SEARCH_BENCH_GRID["glb_scales"]),
+            "pe_scales": len(SEARCH_BENCH_GRID["pe_scales"]),
+            "generations": SEARCH_BENCH_GRID["max_generations"],
+        },
+        "brute_seconds": round(brute_seconds, 4),
+        "surrogate_seconds": round(surrogate_seconds, 4),
+        "brute_exact_evaluations": brute_evals,
+        "surrogate_exact_evaluations": surrogate_evals,
+        "evaluation_reduction": round(brute_evals / surrogate_evals, 2),
+        "frontier_precision": round(
+            true_positives / max(len(surrogate_frontier), 1), 4),
+        "frontier_recall": round(
+            true_positives / max(len(brute_frontier), 1), 4),
+        "frontier_equal": surrogate_frontier == brute_frontier,
+    }
+
+
 def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
@@ -287,6 +363,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         shard_note = f"measured on {cpu_count} cores"
 
     batch_grid = _bench_batch_grid()
+    search = _bench_search()
 
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -307,6 +384,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         "shard_scaling_seconds_by_workers": shards,
         "shard_scaling_note": shard_note,
         "batch_grid": batch_grid,
+        "search": search,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
         "speedup_batch_vs_loop": batch_grid["speedup_batch_vs_loop"],
@@ -345,7 +423,8 @@ def main(argv=None) -> int:
     print(f"store: 3-target sweep cold {store['sweep_cold_write_seconds']:.3f}s"
           f" -> warm-store {store['sweep_warm_store_seconds']:.3f}s "
           f"({store['warm_vs_cold_speedup']:.1f}x); "
-          f"{store['store_hit_entries_per_second']:.0f} entry loads/s")
+          f"{store['store_hit_entries_per_second']:.0f} entry loads/s, "
+          f"{store['store_bulk_load_entries_per_second']:.0f} bulk loads/s")
     if result["shard_scaling_seconds_by_workers"]:
         for count, seconds in \
                 result["shard_scaling_seconds_by_workers"].items():
@@ -358,6 +437,12 @@ def main(argv=None) -> int:
           f"{grid['per_point_seconds']:.3f}s per-point "
           f"({grid['speedup_batch_vs_loop']:.1f}x, "
           f"{grid['batched_cells_per_second']:.0f} cells/s)")
+    search = result["search"]
+    print(f"search: surrogate {search['surrogate_exact_evaluations']} vs "
+          f"brute {search['brute_exact_evaluations']} exact evals "
+          f"({search['evaluation_reduction']:.2f}x fewer), frontier "
+          f"precision/recall {search['frontier_precision']:.2f}/"
+          f"{search['frontier_recall']:.2f}, equal={search['frontier_equal']}")
     print(f"wrote {args.output}")
     return 0
 

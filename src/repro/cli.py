@@ -90,7 +90,12 @@ from typing import List, Optional
 from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 from repro.experiments.scheduler import EvaluationScheduler
-from repro.experiments.search import format_frontier, search_frontier
+from repro.experiments.search import (
+    DEFAULT_SURROGATE_BUDGET,
+    format_frontier,
+    search_frontier,
+)
+from repro.experiments.surrogate import parse_constraint
 from repro.experiments.shard import (
     DEFAULT_LEASE_TTL,
     format_shard_stats,
@@ -134,6 +139,13 @@ def _parse_synth(text: str):
     try:
         return parse_synth_spec(text)
     except (KeyError, ValueError) as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _parse_constraint(text: str) -> str:
+    try:
+        return parse_constraint(text).label
+    except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
@@ -260,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evaluate one grid cell at a time instead of "
                           "through the vectorized batch engine (escape "
                           "hatch; results are bit-identical either way)")
+    run.add_argument("--no-surrogate", action="store_true",
+                     help="for search-driven experiments (fig14): evaluate "
+                          "every candidate exactly instead of surrogate "
+                          "ranking (escape hatch)")
     run.add_argument("--output-dir", type=Path, default=Path("artifacts"),
                      metavar="DIR",
                      help="where JSON artifacts are written (default: artifacts/)")
@@ -360,6 +376,22 @@ def build_parser() -> argparse.ArgumentParser:
                              f"models: {', '.join(model_names())})")
     search.add_argument("--workloads", default=None, metavar="W1,W2,...",
                         help="restrict to a comma-separated workload subset")
+    search.add_argument("--constraint", action="append",
+                        type=_parse_constraint, default=None,
+                        metavar="METRIC<=BOUND",
+                        help="keep only design points satisfying the bound "
+                             "(repeatable; metrics: traffic (DRAM words), "
+                             "energy (pJ), pe_area (PE buffer words); e.g. "
+                             "--constraint 'traffic<=6e4')")
+    search.add_argument("--surrogate-budget", type=float,
+                        default=DEFAULT_SURROGATE_BUDGET, metavar="F",
+                        help="fraction of remaining candidates exactly "
+                             "evaluated per surrogate ranking round "
+                             f"(default: {DEFAULT_SURROGATE_BUDGET})")
+    search.add_argument("--no-surrogate", action="store_true",
+                        help="rank nothing: exactly evaluate every candidate "
+                             "in every generation (brute-force reference "
+                             "path)")
     search.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes (default: CPU count; "
                              "1 = serial)")
@@ -457,6 +489,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # budget as a parameter; thread --workers through so it is honored.
         if experiment.accepts_max_workers and args.workers is not None:
             params[experiment.name].setdefault("max_workers", args.workers)
+        if experiment.accepts_use_surrogate and args.no_surrogate:
+            params[experiment.name].setdefault("use_surrogate", False)
     store = _store_for(args)
     if store is not None:
         for experiment in selected:
@@ -647,10 +681,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         store=_store_for(args),
         use_batch=not args.no_batch,
+        use_surrogate=not args.no_surrogate,
+        surrogate_budget=args.surrogate_budget,
+        constraints=args.constraint,
     )
     print(format_frontier(result))
+    pruned = sum(stats.pruned_configs for stats in result.generations)
+    pruned_note = f" ({pruned} configs skipped by the surrogate)" if pruned else ""
     print(f"\nsearch evaluated {len(result.points)} design points over "
-          f"{len(result.generations)} generation(s) in "
+          f"{len(result.generations)} generation(s){pruned_note} in "
           f"{time.perf_counter() - start:.2f}s", file=sys.stderr)
 
     if not args.no_artifacts:

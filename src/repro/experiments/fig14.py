@@ -65,14 +65,18 @@ def run(context: ExperimentContext,
         pe_scales: Sequence[float] = DEFAULT_PE_SCALES,
         max_generations: int = 3,
         max_workers: Optional[int] = None,
-        store=None) -> FrontierResult:
+        store=None,
+        use_surrogate: bool = True) -> FrontierResult:
     """Search the design space over the structure ladder.
 
     The context supplies the base architecture, and suite seed (the
     overbooking target is a *search axis* here, so the context's ``y`` seeds
     the axis rather than pinning it); the workloads come from the synthetic
     structure ladder.  All evaluations are batched per generation through
-    the scheduler, store-aware when ``store`` is attached.
+    the scheduler, store-aware when ``store`` is attached.  Refinement
+    generations rank candidates through the surrogate by default (CLI:
+    ``--no-surrogate`` for the brute-force reference; the quick grid is
+    too small to train it, so the quick path is brute force either way).
     """
     y_axis = sorted({round(float(y), 6) for y in
                      (*y_values, context.overbooking_target)})
@@ -86,6 +90,7 @@ def run(context: ExperimentContext,
         max_generations=max_generations,
         base_architecture=context.architecture,
         scheduler=EvaluationScheduler(max_workers=max_workers, store=store),
+        use_surrogate=use_surrogate,
     )
 
 

@@ -167,6 +167,14 @@ class Experiment:
         (declared via ``@register(..., uses_suite=False)`` to opt out)."""
         return self.needs_context and self.uses_suite
 
+    def accepts_param(self, name: str) -> bool:
+        """Whether ``run`` declares parameter ``name`` — how drivers decide
+        which cross-cutting knobs (``--workers``, ``--store``,
+        ``--no-surrogate``) an experiment can receive."""
+        import inspect
+
+        return name in inspect.signature(self.compute).parameters
+
     @property
     def accepts_max_workers(self) -> bool:
         """Whether ``run`` takes a ``max_workers`` parameter.
@@ -176,9 +184,7 @@ class Experiment:
         their worker budget through it so ``--workers`` is honored
         everywhere.
         """
-        import inspect
-
-        return "max_workers" in inspect.signature(self.compute).parameters
+        return self.accepts_param("max_workers")
 
     @property
     def accepts_store(self) -> bool:
@@ -189,9 +195,13 @@ class Experiment:
         thread ``--store`` through it the same way ``--workers`` reaches
         ``max_workers``.
         """
-        import inspect
+        return self.accepts_param("store")
 
-        return "store" in inspect.signature(self.compute).parameters
+    @property
+    def accepts_use_surrogate(self) -> bool:
+        """Whether ``run`` takes a ``use_surrogate`` parameter (``fig14``'s
+        generational search) — lets the CLI thread ``--no-surrogate``."""
+        return self.accepts_param("use_surrogate")
 
     @property
     def kernel_axis(self) -> str:

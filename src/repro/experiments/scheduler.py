@@ -315,16 +315,24 @@ class EvaluationScheduler:
 
         store_hits = 0
         cold = []
-        for key, request in unique.items():
-            if memoized_reports(key) is not None:
-                continue
-            if self.store is not None:
-                loaded = self.store.load(key)
-                if loaded is not None:
-                    store_memoized_reports(key, loaded)
+        candidates = [(key, request) for key, request in unique.items()
+                      if memoized_reports(key) is None]
+        if self.store is not None and candidates:
+            # One bulk lookup for every memo-cold key: the store scans each
+            # needed shard directory once (see ReportStore.load_many) instead
+            # of probing entry files one by one — the difference between a
+            # warm-started search paying N file-open misses and paying a few
+            # directory listings.
+            loaded = self.store.load_many([key for key, _ in candidates])
+            for key, request in candidates:
+                reports = loaded.get(key)
+                if reports is not None:
+                    store_memoized_reports(key, reports)
                     store_hits += 1
-                    continue
-            cold.append(request)
+                else:
+                    cold.append(request)
+        else:
+            cold = [request for _, request in candidates]
         # Group same-workload requests (which share tilings at equal
         # capacities) so chunking keeps them on one worker.
         cold.sort(key=lambda r: (r.workload, r.kernel, r.overbooking_target))

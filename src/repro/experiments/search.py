@@ -12,13 +12,34 @@ model):
 * :func:`search_frontier` runs a *generational* search.  Generation 0
   evaluates the seed grid (every combination of the initial axis values)
   through the same batched :class:`~repro.experiments.scheduler.
-  EvaluationScheduler` as every other experiment — one fan-out per
-  generation, store-aware and therefore resumable.
+  EvaluationScheduler` as every other experiment — store-aware and therefore
+  resumable.
 * Between generations, dominated configurations are pruned: only
   configurations that are Pareto-optimal for at least one ``(kernel,
   workload)`` group survive, and the grid axes are *refined* around the
   survivors (midpoints toward each immediate neighbor).  Regions of the
   design space that no objective cares about are never evaluated densely.
+* Within a refinement generation, a **rank-then-verify** loop (on by
+  default, ``use_surrogate=False`` for the golden brute-force reference)
+  consults the :class:`~repro.experiments.surrogate.DesignSurrogate`: all
+  candidates are scored, the most promising fraction (``surrogate_budget``)
+  plus an exploration band are evaluated exactly, and a candidate is
+  skipped only when, in *every* ``(kernel, workload)`` group, an exactly
+  evaluated point is predicted to be at least as good on every objective
+  within the group's trust band (or the candidate is predicted to violate
+  a constraint beyond the verified error margin).  The band tightens —
+  through zero, into requiring a strict predicted deficit — as observed
+  prediction errors grow, and no group may skip anything before its
+  predictions have been verified at all, so an unreliable surrogate widens
+  the evaluated fraction by itself.  The reported frontier only ever
+  contains exactly evaluated points, and golden tests pin its equality
+  with the brute-force reference.
+* Optional **constraints** (``traffic <= X``, ``energy <= Y``,
+  ``pe_area <= Z`` — see :func:`~repro.experiments.surrogate.
+  parse_constraint`) gate the frontier: infeasible points never enter it
+  and infeasible configurations are pruned before evaluation when that is
+  provable (``pe_area`` exactly, the predicted metrics via the optimistic
+  bound).
 * The search stops when refinement proposes nothing new, when
   ``max_generations`` is reached, or when ``max_evaluations`` would be
   exceeded.
@@ -28,13 +49,17 @@ auditable), the per-group frontier, and per-generation statistics; the
 ``fig14`` experiment and the CLI's ``search`` subcommand render and
 serialize it.  :func:`pareto_frontier` is the (deliberately simple) O(n²)
 non-domination filter — golden tests cross-check the search output against
-an independent brute-force sweep of the same space.
+an independent brute-force sweep of the same space, and the surrogate path
+against the brute-force path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.accelerator.config import ArchitectureConfig, scaled_default_config
 from repro.experiments.registry import deterministic_payload
@@ -43,6 +68,13 @@ from repro.experiments.scheduler import (
     EvaluationScheduler,
     ScheduleStats,
     requests_for_context,
+)
+from repro.experiments.surrogate import (
+    PREDICTED_METRICS,
+    Constraint,
+    DesignSurrogate,
+    parse_constraint,
+    pe_area_words,
 )
 from repro.experiments.sweep import (
     _refusing_overwrite,
@@ -57,6 +89,10 @@ from repro.tensor.synth import specs_by_workload_name
 DEFAULT_Y_VALUES = (0.05, 0.10, 0.22)
 DEFAULT_GLB_SCALES = (0.5, 1.0, 2.0)
 DEFAULT_PE_SCALES = (0.5, 1.0, 2.0)
+
+#: Fraction of a generation's candidates the rank-then-verify loop evaluates
+#: per batch before re-checking what the surrogate can prove about the rest.
+DEFAULT_SURROGATE_BUDGET = 0.25
 
 #: Decimal places configurations are rounded to when axes are refined —
 #: keeps the search space finite and the signatures stable.
@@ -108,13 +144,25 @@ class DesignPoint:
 
 @dataclass(frozen=True)
 class GenerationStats:
-    """What one generation of the search did."""
+    """What one generation of the search did.
+
+    ``candidates`` counts the configurations proposed for the generation,
+    ``evaluated_configs`` the ones evaluated exactly; the difference is what
+    the surrogate pruned (``pruned_configs``) — zero on the brute-force
+    path.  ``trust_margin`` is the widest per-group trust margin the
+    rank-then-verify loop ended the generation with (0 when ranking never
+    engaged).  Like ``schedule``, these are run-*shape* diagnostics that
+    live inside the ephemeral ``generations`` field, never in artifacts.
+    """
 
     generation: int
     evaluated_configs: int
     total_configs: int
     frontier_size: int
     schedule: ScheduleStats
+    candidates: int = 0
+    pruned_configs: int = 0
+    trust_margin: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -127,6 +175,8 @@ class FrontierResult:
     points: List[DesignPoint]
     frontier: List[DesignPoint]
     generations: List[GenerationStats]
+    constraints: List[str] = field(default_factory=list)
+    use_surrogate: bool = True
 
     def frontier_for(self, kernel: str, workload: str) -> List[DesignPoint]:
         """The non-dominated set of one ``(kernel, workload)`` group."""
@@ -210,8 +260,16 @@ def _round(value: float) -> float:
 
 
 def _refined_axis(values: List[float], survivors: set) -> List[float]:
-    """Refine one axis around surviving values: midpoints to each neighbor."""
-    ordered = sorted(values)
+    """Refine one axis around surviving values: midpoints to each neighbor.
+
+    Both the incoming values and the proposed midpoints are deduplicated
+    *after* rounding to :data:`_AXIS_DECIMALS` — adjacent survivors whose
+    midpoint rounds onto an existing value (or two inputs that only differ
+    below the rounding precision) must collapse to one candidate, not two
+    near-identical configurations that each cost an exact evaluation.
+    """
+    ordered = sorted({_round(value) for value in values})
+    survivors = {_round(value) for value in survivors}
     proposals = set(ordered)
     for index, value in enumerate(ordered):
         if value not in survivors:
@@ -221,6 +279,33 @@ def _refined_axis(values: List[float], survivors: set) -> List[float]:
         if index + 1 < len(ordered):
             proposals.add(_round((value + ordered[index + 1]) / 2.0))
     return sorted(proposals)
+
+
+def _merged_schedule(batches: Sequence[ScheduleStats]) -> ScheduleStats:
+    """One generation's schedule stats, summed over its exact batches.
+
+    The rank-then-verify loop issues several prefetches per generation (one
+    per verified batch); merging keeps :class:`GenerationStats.schedule` a
+    single per-generation record, with every counter — including the
+    ``computed == 0`` warm-resume invariant the tests pin — additive over
+    disjoint request sets.
+    """
+    if len(batches) == 1:
+        return batches[0]
+    return ScheduleStats(
+        requested=sum(stats.requested for stats in batches),
+        unique=sum(stats.unique for stats in batches),
+        warm=sum(stats.warm for stats in batches),
+        computed=sum(stats.computed for stats in batches),
+        workers=max((stats.workers for stats in batches), default=0),
+        store_hits=sum(stats.store_hits for stats in batches),
+        store_writes=sum(stats.store_writes for stats in batches),
+        pool_restarts=sum(stats.pool_restarts for stats in batches),
+        degraded_serial=any(stats.degraded_serial for stats in batches),
+        batched=any(stats.batched for stats in batches),
+        batch_groups=sum(stats.batch_groups for stats in batches),
+        shm_segments=sum(stats.shm_segments for stats in batches),
+    )
 
 
 def search_frontier(suite: Optional[WorkloadSuite] = None, *,
@@ -235,7 +320,10 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
                     workloads: Optional[Sequence[str]] = None,
                     scheduler: Optional[EvaluationScheduler] = None,
                     max_workers: Optional[int] = None,
-                    store=None, use_batch: bool = True) -> FrontierResult:
+                    store=None, use_batch: bool = True,
+                    use_surrogate: bool = True,
+                    surrogate_budget: float = DEFAULT_SURROGATE_BUDGET,
+                    constraints: Optional[Sequence] = None) -> FrontierResult:
     """Generationally explore the ``(y, GLB, PE)`` space, keep the frontier.
 
     Parameters mirror :func:`~repro.experiments.sweep.sweep_grid` where they
@@ -244,12 +332,37 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
     search-specific knobs are the seed axes (``y_values``, ``glb_scales``,
     ``pe_scales``), ``max_generations`` (generation 0 is the seed grid; each
     further generation refines the axes around the current frontier and
-    prunes dominated configurations), and ``max_evaluations``, a hard cap on
-    scheduled ``(kernel, workload, config)`` evaluations.
+    prunes dominated configurations), ``max_evaluations``, a hard cap on
+    scheduled ``(kernel, workload, config)`` evaluations, and the surrogate
+    knobs:
+
+    ``use_surrogate`` (default ``True``)
+        Rank-then-verify refinement generations through the
+        :class:`~repro.experiments.surrogate.DesignSurrogate`; candidates
+        are skipped only when, in every ``(kernel, workload)`` group, an
+        exactly evaluated point is predicted at least as good within the
+        group's verified trust band, so the reported frontier matches the
+        ``use_surrogate=False`` brute-force reference (pinned by golden
+        tests) while evaluating far fewer configurations.  Ranking engages
+        once every group has enough exact training points; until then
+        (always for generation 0) candidates are evaluated exhaustively.
+    ``surrogate_budget``
+        Fraction of a generation's candidates evaluated per verification
+        batch (plus an exploration band on the first batch).
+    ``constraints``
+        Upper bounds (:class:`~repro.experiments.surrogate.Constraint` or
+        strings like ``"traffic<=1e9"``): the frontier is computed over
+        feasible, exactly evaluated points only; ``pe_area``-infeasible
+        configurations are rejected before evaluation, predicted-infeasible
+        ones once the optimistic bound proves the violation.
 
     Returns a :class:`FrontierResult`; ``result.frontier`` is the union of
     the per-``(kernel, workload)`` non-dominated sets over *all* evaluated
-    generations, verified against every evaluated point.
+    generations, verified against every evaluated (and feasible) point.
+    Every decision the search makes is a function of exact values only —
+    whether they came from the memo, the report store, or a fresh
+    computation — so a warm re-search over a covering store replays the
+    cold run byte-for-byte with ``computed == 0``.
     """
     if synth is not None:
         if suite is not None:
@@ -263,8 +376,12 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
         raise ValueError("every search axis needs at least one seed value")
     if max_generations < 1:
         raise ValueError("max_generations must be >= 1")
+    if not (0.0 < surrogate_budget <= 1.0):
+        raise ValueError("surrogate_budget must be in (0, 1]")
     if workloads is not None:
         suite = suite.subset(list(workloads))
+    constraint_list: List[Constraint] = [parse_constraint(item)
+                                         for item in (constraints or ())]
     synth_specs = specs_by_workload_name(suite)
     base = base_architecture or scaled_default_config()
     scheduler = _store_aware_scheduler(scheduler, store, max_workers,
@@ -276,39 +393,69 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
         "pe": sorted(_round(s) for s in pe_scales),
     }
     kernels = [str(kernel) for kernel in kernels]
+    group_keys = [(kernel, name) for kernel in kernels for name in suite.names]
+    surrogate = DesignSurrogate(num_pes=base.num_pes) if use_surrogate else None
+    predicted_bounds = [(PREDICTED_METRICS[c.metric], c.bound)
+                        for c in constraint_list
+                        if c.metric in PREDICTED_METRICS]
+    area_bound = min((c.bound for c in constraint_list
+                      if c.metric == "pe_area"), default=None)
 
     evaluated: Dict[DesignConfig, List[DesignPoint]] = {}
+    rejected: set = set()  # pe_area-infeasible: provably off every frontier
+    survivors: set = set()  # frontier configs after the latest generation
     generations: List[GenerationStats] = []
     points: List[DesignPoint] = []
+    point_by: Dict[Tuple[DesignConfig, str, str], DesignPoint] = {}
 
     def grid_configs() -> List[DesignConfig]:
         return [DesignConfig(y, glb, pe)
                 for y in axes["y"] for glb in axes["glb"] for pe in axes["pe"]]
 
-    def current_frontier() -> List[DesignPoint]:
+    def point_feasible(point: DesignPoint) -> bool:
+        for constraint in constraint_list:
+            if constraint.metric == "traffic" \
+                    and point.dram_words > constraint.bound:
+                return False
+            if constraint.metric == "energy" \
+                    and point.energy_pj > constraint.bound:
+                return False
+            if constraint.metric == "pe_area" and (
+                    base.num_pes * point.pe_buffer_capacity_words
+                    > constraint.bound):
+                return False
+        return True
+
+    def canonical_key(point: DesignPoint) -> tuple:
+        # Within a group, evaluation order is (generation, y, glb, pe) on
+        # the brute-force path but batch order on the surrogate path; the
+        # frontier is computed over the canonically sorted group so both
+        # paths report identical frontiers (a stable no-op for brute force).
+        return (point.generation, point.config.overbooking_target,
+                point.config.glb_scale, point.config.pe_scale)
+
+    def feasible_group_frontiers() -> Dict[Tuple[str, str], List[DesignPoint]]:
         groups: Dict[Tuple[str, str], List[DesignPoint]] = {}
         for point in points:
-            groups.setdefault((point.kernel, point.workload), []).append(point)
+            if point_feasible(point):
+                groups.setdefault((point.kernel, point.workload),
+                                  []).append(point)
+        return {key: pareto_frontier(sorted(group, key=canonical_key))
+                for key, group in groups.items()}
+
+    def current_frontier() -> List[DesignPoint]:
+        frontiers = feasible_group_frontiers()
         frontier: List[DesignPoint] = []
-        for key in sorted(groups):
-            frontier.extend(pareto_frontier(groups[key]))
+        for key in sorted(frontiers):
+            frontier.extend(frontiers[key])
         return frontier
 
-    for generation in range(max_generations):
-        pending = [config for config in grid_configs()
-                   if config not in evaluated]
-        budget_left = max_evaluations - sum(
-            len(group) for group in evaluated.values())
-        if budget_left < len(pending) * len(kernels) * len(suite.names):
-            pending = pending[:max(
-                0, budget_left // max(1, len(kernels) * len(suite.names)))]
-        if not pending:
-            break
-
-        # One batched, store-aware fan-out for the whole generation.
+    def evaluate_batch(configs: Sequence[DesignConfig],
+                       generation: int) -> ScheduleStats:
+        """One batched, store-aware fan-out; results land in ``points``."""
         contexts: Dict[Tuple[str, DesignConfig], ExperimentContext] = {}
         requests = []
-        for config in pending:
+        for config in configs:
             architecture = _scaled_architecture(
                 base, config.glb_scale, config.pe_scale)
             for kernel in kernels:
@@ -320,7 +467,7 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
                 requests.extend(requests_for_context(context))
         stats = scheduler.prefetch(requests)
 
-        for config in pending:
+        for config in configs:
             evaluated[config] = []
             for kernel in kernels:
                 context = contexts[(kernel, config)]
@@ -346,21 +493,215 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
                     )
                     evaluated[config].append(point)
                     points.append(point)
+                    point_by[(config, kernel, name)] = point
+                    if surrogate is not None:
+                        surrogate.observe(kernel, name, config,
+                                          point.objectives)
+        return stats
+
+    def survivor_adjacent(config: DesignConfig,
+                          survivors: set) -> bool:
+        """Whether ``config`` is within one refined-axis step of a frontier
+        survivor on *every* axis.
+
+        Axis refinement inserts midpoints next to survivors, so the
+        configurations most likely to move the frontier in a refinement
+        generation live in this neighborhood — the far-field rest of the
+        cross-product grid is where the surrogate earns its keep.
+        """
+        indices = {axis: {value: index for index, value in enumerate(values)}
+                   for axis, values in axes.items()}
+        config_idx = (indices["y"][config.overbooking_target],
+                      indices["glb"][config.glb_scale],
+                      indices["pe"][config.pe_scale])
+        for survivor in survivors:
+            survivor_idx = (indices["y"][survivor.overbooking_target],
+                            indices["glb"][survivor.glb_scale],
+                            indices["pe"][survivor.pe_scale])
+            if all(abs(a - b) <= 1
+                   for a, b in zip(config_idx, survivor_idx)):
+                return True
+        return False
+
+    def ranked_generation(pending: List[DesignConfig], generation: int,
+                          survivors: set) -> Tuple[List[ScheduleStats], int]:
+        """Rank-then-verify a refinement generation.
+
+        Two tiers:
+
+        1. The **survivor neighborhood** — every candidate within one
+           refined-axis step of a current frontier configuration — is
+           evaluated exactly, unconditionally, as the generation's first
+           batch.  Axis refinement only inserts values next to survivors,
+           so this is where frontier movement happens; evaluating it
+           exactly keeps the search trajectory (per-generation frontiers,
+           hence refinement axes) identical to the brute-force reference
+           without trusting the model at all.  The neighborhood batch also
+           verifies the surrogate's predictions for it, seeding the trust
+           bands.
+        2. The **far field** (the rest of the cross-product grid) goes
+           through the surrogate: candidates whose predictions an exactly
+           evaluated point matches-or-beats within the group's trust band
+           in every group (or that are predicted constraint-infeasible
+           beyond the verified error margin) are skipped; the rest are
+           evaluated in promise-ranked batches of ``surrogate_budget ×
+           len(pending)``, re-fitting, re-verifying, and re-deciding after
+           each batch until nothing unverified remains.  A group with no
+           verified predictions cannot skip anything.
+        """
+        batches: List[ScheduleStats] = []
+        remaining = list(pending)
+        chunk = max(1, math.ceil(surrogate_budget * len(pending)))
+        first_batch = True
+        core = [config for config in remaining
+                if survivor_adjacent(config, survivors)]
+        if core:
+            core_predictions = {
+                key: surrogate.predict(key[0], key[1], core)
+                for key in group_keys}
+            batches.append(evaluate_batch(core, generation))
+            for kernel, name in group_keys:
+                exact = np.vstack([
+                    point_by[(config, kernel, name)].objectives
+                    for config in core])
+                surrogate.record_errors(
+                    kernel, name, core_predictions[(kernel, name)], exact)
+            core_set = set(core)
+            remaining = [config for config in remaining
+                         if config not in core_set]
+        while remaining:
+            frontiers = feasible_group_frontiers()
+            predictions = {key: surrogate.predict(key[0], key[1], remaining)
+                           for key in group_keys}
+            bands = {key: surrogate.trust_band(*key) for key in group_keys}
+            margins = {key: surrogate.error_margin(*key) for key in group_keys}
+
+            def prunable(index: int) -> bool:
+                for key in group_keys:
+                    band, margin = bands[key], margins[key]
+                    if band is None:
+                        return False  # nothing verified: no trust, no skip
+                    predicted = predictions[key][index]
+                    if any(predicted[metric] > bound * (1.0 + margin)
+                           for metric, bound in predicted_bounds):
+                        continue  # predicted infeasible beyond the margin
+                    if any(all(front.objectives[i]
+                               <= predicted[i] * (1.0 + band)
+                               for i in range(len(predicted)))
+                           for front in frontiers.get(key, ())):
+                        continue  # an exact point is as good, within band
+                    return False
+                return True
+
+            def promise(index: int) -> float:
+                best = math.inf
+                for key in group_keys:
+                    predicted = predictions[key][index]
+                    if any(predicted[metric] > bound
+                           for metric, bound in predicted_bounds):
+                        continue  # predicted infeasible: no promise here
+                    frontier = frontiers.get(key)
+                    if not frontier:
+                        return -math.inf  # nothing feasible yet: explore
+                    best = min(best, min(
+                        max((predicted[0] - front.dram_words)
+                            / max(front.dram_words, 1e-300),
+                            (predicted[1] - front.energy_pj)
+                            / max(front.energy_pj, 1e-300))
+                        for front in frontier))
+                return best
+
+            active = [(index, config)
+                      for index, config in enumerate(remaining)
+                      if not prunable(index)]
+            if not active:
+                break  # the rest is provably off the frontier
+            ordered = sorted(active, key=lambda item: (
+                promise(item[0]), item[1].overbooking_target,
+                item[1].glb_scale, item[1].pe_scale))
+            chosen = ordered[:chunk]
+            if first_batch and len(ordered) > chunk:
+                # Exploration band: a few evenly spaced lower-ranked
+                # candidates keep the error estimate honest outside the
+                # model's comfort zone.
+                rest = ordered[chunk:]
+                band = max(1, chunk // 4)
+                step = max(1, len(rest) // band)
+                chosen = chosen + rest[::step][:band]
+            first_batch = False
+
+            batches.append(evaluate_batch([config for _, config in chosen],
+                                          generation))
+            for kernel, name in group_keys:
+                predicted = np.vstack([predictions[(kernel, name)][index]
+                                       for index, _ in chosen])
+                exact = np.vstack([
+                    point_by[(config, kernel, name)].objectives
+                    for _, config in chosen])
+                surrogate.record_errors(kernel, name, predicted, exact)
+            batch_set = {config for _, config in chosen}
+            remaining = [config for config in remaining
+                         if config not in batch_set]
+        evaluated_configs = len(pending) - len(remaining)
+        return batches, evaluated_configs
+
+    for generation in range(max_generations):
+        pending = [config for config in grid_configs()
+                   if config not in evaluated and config not in rejected]
+        if area_bound is not None:
+            # pe_area is an exact function of the configuration: infeasible
+            # candidates are rejected before costing anything, on both the
+            # surrogate and the brute-force path.
+            allowed = []
+            for config in pending:
+                architecture = _scaled_architecture(
+                    base, config.glb_scale, config.pe_scale)
+                if pe_area_words(architecture) > area_bound:
+                    rejected.add(config)
+                else:
+                    allowed.append(config)
+            pending = allowed
+        budget_left = max_evaluations - sum(
+            len(group) for group in evaluated.values())
+        if budget_left < len(pending) * len(kernels) * len(suite.names):
+            pending = pending[:max(
+                0, budget_left // max(1, len(kernels) * len(suite.names)))]
+        if not pending:
+            break
+
+        candidates = len(pending)
+        ranked = surrogate is not None and all(
+            surrogate.trained(kernel, name) for kernel, name in group_keys)
+        if ranked:
+            batch_stats, evaluated_configs = ranked_generation(
+                pending, generation, survivors)
+            trust_margin = max((surrogate.error_margin(kernel, name) or 0.0)
+                               for kernel, name in group_keys)
+        else:
+            # No (or an undertrained) surrogate: evaluate the whole
+            # generation exactly — one batched, store-aware fan-out.
+            batch_stats = [evaluate_batch(pending, generation)]
+            evaluated_configs = candidates
+            trust_margin = 0.0
 
         frontier = current_frontier()
         generations.append(GenerationStats(
             generation=generation,
-            evaluated_configs=len(pending),
+            evaluated_configs=evaluated_configs,
             total_configs=len(evaluated),
             frontier_size=len(frontier),
-            schedule=stats,
+            schedule=_merged_schedule(batch_stats),
+            candidates=candidates,
+            pruned_configs=candidates - evaluated_configs,
+            trust_margin=trust_margin,
         ))
 
+        # The frontier's configurations both seed the next generation's axis
+        # refinement and define the neighborhood its ranked evaluation must
+        # cover exactly.
+        survivors = {point.config for point in frontier}
         if generation + 1 >= max_generations:
             break
-        # Prune: only configurations on some group's frontier seed the next
-        # generation's axis refinement; dominated regions are not expanded.
-        survivors = {point.config for point in frontier}
         axes = {
             "y": _refined_axis(
                 axes["y"], {c.overbooking_target for c in survivors}),
@@ -377,6 +718,8 @@ def search_frontier(suite: Optional[WorkloadSuite] = None, *,
         points=points,
         frontier=current_frontier(),
         generations=generations,
+        constraints=[constraint.label for constraint in constraint_list],
+        use_surrogate=surrogate is not None,
     )
 
 
@@ -397,6 +740,8 @@ def format_frontier(result: FrontierResult) -> str:
         ))
     evaluated = len(result.points)
     gens = len(result.generations)
+    constrained = (f", constraints: {', '.join(result.constraints)}"
+                   if result.constraints else "")
     return format_table(
         ["kernel", "workload", "config", "DRAM words", "energy pJ",
          "cycles", "GLB overbook"],
@@ -404,5 +749,5 @@ def format_frontier(result: FrontierResult) -> str:
         title=(f"Traffic/energy Pareto frontier — {len(result.frontier)} "
                f"non-dominated of {evaluated} evaluated points "
                f"({gens} generation(s), objectives minimized: DRAM words, "
-               f"energy)"),
+               f"energy{constrained})"),
     )

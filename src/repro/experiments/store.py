@@ -354,7 +354,62 @@ class ReportStore:
         written under a different schema version — a deliberate upgrade
         condition that ``store gc`` resolves, not a fault.
         """
-        path = self.path_for(memo_key)
+        return self._load_entry(self.path_for(memo_key))
+
+    def load_many(self, memo_keys) -> Dict[tuple, Dict[str, PerformanceReport]]:
+        """Batch :meth:`load`: ``{memo_key: reports}`` for every present key.
+
+        Instead of one ``open`` attempt per key, the needed shard
+        directories (``objects/<aa>/``) are each scanned **once** with
+        ``os.scandir`` — existence is decided for the whole batch up front
+        and only the entries actually present are read and decoded.  For the
+        bulk lookups the scheduler issues (warm-starting a design-space
+        search, resuming a sweep) this turns N mostly-missing probes into a
+        handful of directory listings plus the hits.
+
+        Per-key semantics are identical to :meth:`load`: corrupt entries are
+        quarantined and treated as misses, entries under another schema
+        raise :class:`StoreSchemaError`, and the session hit/miss counters
+        advance exactly as N individual loads would advance them.  Keys
+        absent from the returned mapping are misses.
+        """
+        paths: Dict[tuple, Path] = {}
+        for memo_key in memo_keys:
+            if memo_key not in paths:
+                paths[memo_key] = self.path_for(memo_key)
+        shards: Dict[Path, set] = {}
+        for path in paths.values():
+            shards.setdefault(path.parent, set()).add(path.name)
+
+        present: set = set()
+        for shard_dir, names in shards.items():
+            def scan(shard_dir=shard_dir) -> set:
+                faults.active().maybe_raise("store.load")
+                try:
+                    with os.scandir(shard_dir) as entries:
+                        return {entry.name for entry in entries}
+                except FileNotFoundError:
+                    return set()
+
+            existing = retry_transient(scan, on_retry=self._count_io_retry)
+            present.update(shard_dir / name for name in names & existing)
+
+        loaded: Dict[tuple, Dict[str, PerformanceReport]] = {}
+        for memo_key, path in paths.items():
+            if path not in present:
+                self.session.misses += 1
+                continue
+            # _load_entry re-checks at read time, so a racing quarantine or
+            # delete between the scan and the read is still just a miss.
+            reports = self._load_entry(path)
+            if reports is not None:
+                loaded[memo_key] = reports
+        return loaded
+
+    def _load_entry(self, path: Path) -> Optional[Dict[str, PerformanceReport]]:
+        """Read + decode one entry file (the shared body of ``load``/
+        ``load_many``), with quarantine-on-corruption and retry-on-transient
+        semantics as documented on :meth:`load`."""
 
         def read() -> str:
             faults.active().maybe_raise("store.load")

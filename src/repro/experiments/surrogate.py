@@ -1,0 +1,298 @@
+"""Regression surrogate + constraints for the Pareto design-space search.
+
+The design-space search (:mod:`repro.experiments.search`) explores a ``(y,
+GLB-scale, PE-scale)`` grid whose refinement generations are dominated by
+candidates that turn out to be nowhere near the Pareto frontier.  This module
+supplies the two pieces that let the search skip most of them while keeping
+its exactness guarantee:
+
+* :class:`DesignSurrogate` — a NumPy-only ridge regression fit **per**
+  ``(kernel, workload)`` group on log-transformed ``(y, glb_scale, pe_scale,
+  pe_count)`` features with degree-2 polynomial expansion, predicting the
+  log of each search objective (DRAM words, energy pJ).  It is trained
+  exclusively on *exactly evaluated* design points — including points served
+  from the :class:`~repro.experiments.store.ReportStore`, which is how a
+  warm-started re-search begins pre-fitted without a single model
+  evaluation — and refit incrementally after every exact batch.
+
+* **Trust tracking** — every prediction later verified against an exact
+  evaluation feeds a per-group history of relative errors.  The group's
+  *trust band* is ``tolerance − safety × error_quantile``: positive when
+  the model has proven accurate (candidates predicted to be within the
+  band of an exactly evaluated point are skippable — which is what makes
+  the model's plateau regions, where configurations tie to within a
+  fraction of a percent, cheap), shrinking through zero and negative as
+  observed errors grow (a skip then requires the candidate to be
+  predicted *strictly worse* than an evaluated point by the margin).  An
+  unreliable surrogate therefore widens the evaluated fraction by itself,
+  and a group with no verified predictions yet cannot skip anything at
+  all.  The reported frontier only ever contains exactly evaluated
+  points; golden tests pin its equality with the brute-force reference on
+  the benchmark grids.
+
+* :class:`Constraint` / :func:`parse_constraint` — upper bounds on
+  ``traffic`` (DRAM words), ``energy`` (pJ) and ``pe_area`` (PE count ×
+  per-PE buffer words, an exact function of the configuration).  The search
+  applies them at both stages: predicted bounds prune provably infeasible
+  candidates before evaluation, exact values gate the reported frontier.
+
+Everything here is deterministic: fits use :func:`numpy.linalg.solve` on
+training rows appended in evaluation order, so two runs observing the same
+exact values — no matter whether they came from the memo, the store, or a
+fresh computation — make bit-identical ranking and pruning decisions.  That
+source-independence is what keeps warm re-search byte-identical to the cold
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The objectives the surrogate predicts, in
+#: :attr:`repro.experiments.search.DesignPoint.objectives` order.
+OBJECTIVES = ("dram_words", "energy_pj")
+
+#: Metric aliases accepted by :func:`parse_constraint`.
+_METRIC_ALIASES = {
+    "traffic": "traffic", "dram": "traffic", "dram_words": "traffic",
+    "energy": "energy", "energy_pj": "energy",
+    "pe_area": "pe_area", "area": "pe_area",
+}
+
+#: Constraint metrics that bound a *predicted* objective (index into the
+#: objective vector); ``pe_area`` is instead an exact function of the
+#: configuration and never needs a prediction.
+PREDICTED_METRICS = {"traffic": 0, "energy": 1}
+
+#: Fewest exact observations a group needs before its fit is trusted for
+#: ranking at all (below this the search simply evaluates everything, which
+#: is also what keeps tiny CI grids on the brute-force path).
+MIN_TRAIN_POINTS = 8
+
+#: Trust-band shape: a group's band is ``SKIP_TOLERANCE − TRUST_SAFETY ×
+#: p(ERROR_QUANTILE)`` of its verified relative errors — at most the
+#: tolerance (a perfectly accurate model may skip candidates predicted
+#: within 5% of an evaluated point), negative once observed errors exceed
+#: the tolerance (a skip then needs the candidate predicted strictly worse
+#: by the excess).  The quantile (not the max) keeps one bad miss at a
+#: capacity knee from disabling skipping everywhere else.
+SKIP_TOLERANCE = 0.05
+TRUST_SAFETY = 1.0
+ERROR_QUANTILE = 90.0
+
+#: Ridge regularization weight (applied on standardized features).
+_RIDGE_LAMBDA = 1e-4
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An upper bound on one metric of a design point: ``metric <= bound``."""
+
+    metric: str
+    bound: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.metric}<={self.bound:g}"
+
+
+def parse_constraint(text) -> Constraint:
+    """Parse ``"traffic<=1e9"`` / ``"energy<=2.5e10"`` / ``"pe_area<=8192"``.
+
+    Accepts an existing :class:`Constraint` unchanged.  Metrics:
+    ``traffic`` (DRAM words; aliases ``dram``, ``dram_words``), ``energy``
+    (pJ; alias ``energy_pj``) and ``pe_area`` (PE count × per-PE buffer
+    capacity words; alias ``area``).  Only upper bounds (``<=``) exist —
+    the objectives are minimized, so a lower bound would exclude exactly
+    the points anyone wants.
+    """
+    if isinstance(text, Constraint):
+        return text
+    parts = str(text).split("<=")
+    if len(parts) != 2:
+        raise ValueError(
+            f"constraint {text!r} must have the form METRIC<=BOUND "
+            f"(e.g. 'traffic<=1e9'); metrics: "
+            f"{', '.join(sorted(set(_METRIC_ALIASES.values())))}")
+    metric = _METRIC_ALIASES.get(parts[0].strip().lower())
+    if metric is None:
+        raise ValueError(
+            f"unknown constraint metric {parts[0].strip()!r}; known: "
+            f"{', '.join(sorted(_METRIC_ALIASES))}")
+    try:
+        bound = float(parts[1])
+    except ValueError:
+        raise ValueError(f"constraint bound {parts[1]!r} is not a number") \
+            from None
+    if not np.isfinite(bound) or bound <= 0:
+        raise ValueError(f"constraint bound must be a positive finite "
+                         f"number, got {bound!r}")
+    return Constraint(metric=metric, bound=bound)
+
+
+def pe_area_words(architecture) -> int:
+    """The ``pe_area`` constraint metric of an architecture: total PE-array
+    buffer capacity (``num_pes × pe_buffer_capacity_words``) — an exact
+    function of the configuration, checkable before any evaluation."""
+    return int(architecture.num_pes) * int(architecture.pe_buffer_capacity_words)
+
+
+# --------------------------------------------------------------------- #
+# The per-group ridge fit
+# --------------------------------------------------------------------- #
+def _poly_features(z: np.ndarray) -> np.ndarray:
+    """Degree-2 polynomial expansion of standardized log features:
+    ``[1, z_i, z_i·z_j (i<=j)]`` — 15 columns for the 4 raw features."""
+    n, d = z.shape
+    columns = [np.ones(n)]
+    columns.extend(z[:, i] for i in range(d))
+    for i in range(d):
+        for j in range(i, d):
+            columns.append(z[:, i] * z[:, j])
+    return np.column_stack(columns)
+
+
+@dataclass
+class _GroupFit:
+    """One fitted model: standardization parameters + ridge weights."""
+
+    mean: np.ndarray
+    scale: np.ndarray
+    weights: np.ndarray  # (features, objectives)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        z = (x - self.mean) / self.scale
+        log_pred = _poly_features(z) @ self.weights
+        return np.exp(np.clip(log_pred, -700.0, 700.0))
+
+
+def _fit_group(x: np.ndarray, y: np.ndarray) -> _GroupFit:
+    """Ridge-fit ``log(objectives)`` on standardized log features.
+
+    Solves ``(AᵀA + λI)w = Aᵀ·log(y)`` directly — deterministic for a given
+    training order, tiny (15×15), and well-posed even when the training set
+    is smaller than the feature count (constant columns, e.g. a fixed
+    ``pe_count`` axis, are absorbed by the regularizer).
+    """
+    mean = x.mean(axis=0)
+    scale = x.std(axis=0)
+    scale = np.where(scale < 1e-12, 1.0, scale)
+    features = _poly_features((x - mean) / scale)
+    targets = np.log(np.maximum(y, 1e-300))
+    gram = features.T @ features
+    gram += _RIDGE_LAMBDA * np.eye(gram.shape[0])
+    weights = np.linalg.solve(gram, features.T @ targets)
+    return _GroupFit(mean=mean, scale=scale, weights=weights)
+
+
+class DesignSurrogate:
+    """Per-``(kernel, workload)`` objective surrogate with trust tracking.
+
+    ``observe`` feeds exact evaluations (raw features are the log-transformed
+    ``(y, glb_scale, pe_scale, pe_count)`` of the evaluated configuration);
+    ``predict`` lazily refits a group whose training set grew and returns
+    objective predictions in natural units; ``record_errors`` verifies past
+    predictions against exact results and ``margin`` exposes the resulting
+    trust margin.  See the module docstring for how the search composes
+    these into an exact-frontier guarantee.
+    """
+
+    def __init__(self, num_pes: int, *,
+                 min_train_points: int = MIN_TRAIN_POINTS,
+                 safety: float = TRUST_SAFETY,
+                 tolerance: float = SKIP_TOLERANCE,
+                 error_quantile: float = ERROR_QUANTILE):
+        self.num_pes = int(num_pes)
+        self.min_train_points = int(min_train_points)
+        self.safety = float(safety)
+        self.tolerance = float(tolerance)
+        self.error_quantile = float(error_quantile)
+        self._features: Dict[Tuple[str, str], List[np.ndarray]] = {}
+        self._targets: Dict[Tuple[str, str], List[np.ndarray]] = {}
+        self._fits: Dict[Tuple[str, str], Optional[_GroupFit]] = {}
+        self._errors: Dict[Tuple[str, str], List[float]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _raw_features(self, config) -> np.ndarray:
+        return np.log(np.array([
+            max(float(config.overbooking_target), 1e-12),
+            max(float(config.glb_scale), 1e-12),
+            max(float(config.pe_scale), 1e-12),
+            float(self.num_pes),
+        ]))
+
+    def observe(self, kernel: str, workload: str, config,
+                objectives: Sequence[float]) -> None:
+        """Add one exact evaluation to a group's training set."""
+        group = (kernel, workload)
+        self._features.setdefault(group, []).append(self._raw_features(config))
+        self._targets.setdefault(group, []).append(
+            np.asarray(objectives, dtype=float))
+        self._fits[group] = None  # training set grew: refit lazily
+
+    def observations(self, kernel: str, workload: str) -> int:
+        return len(self._features.get((kernel, workload), ()))
+
+    def trained(self, kernel: str, workload: str) -> bool:
+        """Whether the group has enough exact points to rank candidates."""
+        return self.observations(kernel, workload) >= self.min_train_points
+
+    def predict(self, kernel: str, workload: str,
+                configs: Sequence) -> Optional[np.ndarray]:
+        """Predicted objective vectors, shape ``(len(configs), 2)``, in
+        natural units — or ``None`` while the group is undertrained."""
+        group = (kernel, workload)
+        if not self.trained(kernel, workload):
+            return None
+        fit = self._fits.get(group)
+        if fit is None:
+            fit = _fit_group(np.vstack(self._features[group]),
+                             np.vstack(self._targets[group]))
+            self._fits[group] = fit
+        x = np.vstack([self._raw_features(config) for config in configs])
+        return fit.predict(x)
+
+    # ------------------------------------------------------------------ #
+    def record_errors(self, kernel: str, workload: str,
+                      predicted: np.ndarray, exact: np.ndarray) -> None:
+        """Fold verified predictions into the group's error history.
+
+        Each row's worst per-objective relative error counts as one
+        verified prediction — errors are recorded *before* the exact
+        results are observed into the training set, so they measure the
+        model the search actually ranked with, out of sample.
+        """
+        predicted = np.asarray(predicted, dtype=float)
+        exact = np.asarray(exact, dtype=float)
+        if predicted.size == 0:
+            return
+        relative = np.abs(predicted - exact) / np.maximum(np.abs(exact), 1e-300)
+        self._errors.setdefault((kernel, workload), []).extend(
+            float(value) for value in relative.max(axis=-1).reshape(-1))
+
+    def error_margin(self, kernel: str, workload: str) -> Optional[float]:
+        """``safety × error-quantile`` of the group's verified errors —
+        ``None`` while nothing has been verified (no trust, no skipping)."""
+        errors = self._errors.get((kernel, workload))
+        if not errors:
+            return None
+        return self.safety * float(np.percentile(errors, self.error_quantile))
+
+    def trust_band(self, kernel: str, workload: str) -> Optional[float]:
+        """The group's skip band: ``tolerance − error_margin``.
+
+        A candidate is skippable in this group when some exactly evaluated
+        feasible point is predicted to be at least as good on every
+        objective within ``(1 + band)`` — generous (up to ``tolerance``)
+        while the model verifies accurately, *negative* once observed
+        errors exceed the tolerance, so an unreliable model must predict a
+        candidate strictly worse by the excess before it may skip it.
+        ``None`` (no verified predictions yet) means nothing is skippable.
+        """
+        margin = self.error_margin(kernel, workload)
+        if margin is None:
+            return None
+        return self.tolerance - margin

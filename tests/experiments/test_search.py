@@ -135,6 +135,22 @@ class TestSearchFrontier:
         with pytest.raises(ValueError, match="not both"):
             search_frontier(small_suite(), synth=["uniform"])
 
+    def test_refined_axis_dedups_rounded_midpoints(self):
+        """Midpoints that round onto an existing value (or inputs differing
+        only below the rounding precision) collapse to one candidate —
+        regression: near-duplicate axis values each cost an exact eval."""
+        from repro.experiments.search import _refined_axis
+
+        axis = _refined_axis([0.1, 0.1000000004, 0.2], survivors={0.1})
+        assert axis == sorted(set(axis))
+        assert axis == [0.1, 0.15, 0.2]
+        # Survivor membership is decided after rounding too.
+        assert _refined_axis([0.1, 0.2], survivors={0.1000000004}) \
+            == [0.1, 0.15, 0.2]
+        # Adjacent values whose midpoint rounds onto a neighbor: no dupe.
+        close = _refined_axis([0.1, 0.100001, 0.2], survivors={0.1})
+        assert close == sorted(set(close))
+
     def test_write_artifacts_and_overwrite_guard(self, quick_frontier,
                                                  tmp_path):
         json_path = quick_frontier.write_json(tmp_path / "frontier.json")

@@ -1,0 +1,167 @@
+"""Surrogate-guided search: golden brute-force equality, constraints,
+warm-started re-search.
+
+The golden grid below is one of the validated benchmark grids: surrogate
+ranking reproduces the brute-force frontier exactly while evaluating far
+fewer configurations.  That equality is an empirical, grid-level property
+(the landscape's plateau ties make it impossible to guarantee for free) —
+which is exactly why it is pinned here.
+"""
+
+import itertools
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import clear_process_caches
+from repro.experiments.search import search_frontier
+from repro.experiments.store import ReportStore
+from repro.experiments.surrogate import parse_constraint, pe_area_words
+from repro.accelerator.config import scaled_default_config
+from repro.tensor.suite import small_suite
+
+#: The golden grid: large enough to train + verify the surrogate, validated
+#: to reproduce the brute-force frontier exactly.
+GOLDEN_GRID = dict(kernels=("gram",), y_values=(0.02, 0.05, 0.10, 0.22),
+                   glb_scales=(0.4, 0.7, 1.0, 1.5), pe_scales=(0.5, 1.0, 2.0),
+                   max_generations=3, max_evaluations=100000, max_workers=1)
+
+
+def _frontier_signature(result):
+    """Per-group frontier as comparable (config, objectives) sets."""
+    groups = {(p.kernel, p.workload) for p in result.points}
+    return {key: {(p.config, p.objectives)
+                  for p in result.frontier_for(*key)}
+            for key in sorted(groups)}
+
+
+def _evaluated_configs(result):
+    return sum(stats.evaluated_configs for stats in result.generations)
+
+
+@pytest.fixture(scope="module")
+def golden_pair():
+    clear_process_caches()
+    brute = search_frontier(small_suite(), use_surrogate=False, **GOLDEN_GRID)
+    surrogate = search_frontier(small_suite(), **GOLDEN_GRID)
+    return brute, surrogate
+
+
+class TestGoldenEquality:
+    def test_frontier_identical_to_brute_force(self, golden_pair):
+        brute, surrogate = golden_pair
+        assert _frontier_signature(surrogate) == _frontier_signature(brute)
+
+    def test_surrogate_evaluates_fewer_configs(self, golden_pair):
+        brute, surrogate = golden_pair
+        assert _evaluated_configs(surrogate) < _evaluated_configs(brute)
+        assert sum(s.pruned_configs for s in surrogate.generations) > 0
+
+    def test_frontier_points_were_exactly_evaluated(self, golden_pair):
+        """Every frontier point is an element of the evaluated point set —
+        the surrogate never reports a predicted-only point."""
+        _, surrogate = golden_pair
+        evaluated = {id(point) for point in surrogate.points}
+        assert all(id(point) in evaluated for point in surrogate.frontier)
+
+    def test_brute_force_flag_recorded_in_result(self, golden_pair):
+        brute, surrogate = golden_pair
+        assert brute.use_surrogate is False
+        assert surrogate.use_surrogate is True
+        assert brute.to_jsonable()["use_surrogate"] is False
+
+    def test_generation_stats_expose_ranking(self, golden_pair):
+        _, surrogate = golden_pair
+        ranked = [s for s in surrogate.generations if s.pruned_configs]
+        assert ranked, "at least one generation must have pruned"
+        for stats in surrogate.generations:
+            assert stats.evaluated_configs + stats.pruned_configs \
+                == stats.candidates
+
+
+class TestConstraints:
+    @settings(max_examples=8, deadline=None)
+    @given(traffic_scale=st.floats(min_value=0.3, max_value=2.0),
+           energy_scale=st.floats(min_value=0.3, max_value=2.0))
+    def test_frontier_points_satisfy_constraints(self, traffic_scale,
+                                                 energy_scale):
+        """Whatever the bounds, reported frontier points never violate them.
+
+        The bounds are scaled off a reference frontier so the generated
+        constraints straddle the feasible/infeasible boundary instead of
+        all being trivially loose or empty.
+        """
+        reference = search_frontier(
+            small_suite(), kernels=("gram",), y_values=(0.05, 0.22),
+            glb_scales=(0.5, 1.0), pe_scales=(1.0,), max_generations=2,
+            max_workers=1)
+        traffic_bound = traffic_scale * max(
+            p.dram_words for p in reference.frontier)
+        energy_bound = energy_scale * max(
+            p.energy_pj for p in reference.frontier)
+        constraints = [f"traffic<={traffic_bound:.6g}",
+                       f"energy<={energy_bound:.6g}"]
+        # Assert against what the search actually parsed: %.6g rounds.
+        traffic_bound = parse_constraint(constraints[0]).bound
+        energy_bound = parse_constraint(constraints[1]).bound
+        result = search_frontier(
+            small_suite(), kernels=("gram",), y_values=(0.05, 0.22),
+            glb_scales=(0.5, 1.0), pe_scales=(1.0,), max_generations=2,
+            max_workers=1, constraints=constraints)
+        assert result.constraints == [
+            parse_constraint(text).label for text in constraints]
+        for point in result.frontier:
+            assert point.dram_words <= traffic_bound
+            assert point.energy_pj <= energy_bound
+
+    def test_pe_area_constraint_prefilters_candidates(self):
+        unconstrained = search_frontier(
+            small_suite(), kernels=("gram",), y_values=(0.05, 0.22),
+            glb_scales=(0.5, 1.0), pe_scales=(0.5, 1.0, 2.0),
+            max_generations=1, max_workers=1)
+        base = scaled_default_config()
+        # A bound that admits pe_scale <= 1.0 but rejects 2.0.
+        bound = pe_area_words(base) * 1.5
+        constrained = search_frontier(
+            small_suite(), kernels=("gram",), y_values=(0.05, 0.22),
+            glb_scales=(0.5, 1.0), pe_scales=(0.5, 1.0, 2.0),
+            max_generations=1, max_workers=1,
+            constraints=[f"pe_area<={bound:g}"])
+        assert _evaluated_configs(constrained) < _evaluated_configs(unconstrained)
+        assert all(p.config.pe_scale <= 1.0 for p in constrained.points)
+
+    def test_unsatisfiable_constraint_empties_the_frontier(self):
+        result = search_frontier(
+            small_suite(), kernels=("gram",), y_values=(0.05, 0.22),
+            glb_scales=(0.5, 1.0), pe_scales=(1.0,), max_generations=2,
+            max_workers=1, constraints=["traffic<=1"])
+        assert result.frontier == []
+        assert len(result.points) > 0  # evaluations still happened + reported
+
+
+class TestWarmResearch:
+    @settings(max_examples=4, deadline=None)
+    @given(y_values=st.sampled_from([(0.05, 0.22), (0.02, 0.10, 0.22)]),
+           use_surrogate=st.booleans())
+    def test_covered_store_recomputes_nothing_and_matches_bytes(
+            self, y_values, use_surrogate):
+        """A re-search over a fully covered store computes zero new exact
+        evaluations and reproduces the cold run byte-for-byte."""
+        grid = dict(kernels=("gram",), y_values=y_values,
+                    glb_scales=(0.5, 1.0), pe_scales=(0.5, 1.0),
+                    max_generations=2, max_workers=1,
+                    use_surrogate=use_surrogate)
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ReportStore(Path(tmp) / "store")
+            clear_process_caches()
+            cold = search_frontier(small_suite(), store=store, **grid)
+            clear_process_caches()  # drop the in-process memo: store only
+            warm = search_frontier(small_suite(), store=store, **grid)
+        assert all(s.schedule.computed == 0 for s in warm.generations)
+        assert sum(s.schedule.store_hits for s in warm.generations) > 0
+        assert json.dumps(cold.to_jsonable(), sort_keys=True) \
+            == json.dumps(warm.to_jsonable(), sort_keys=True)

@@ -184,6 +184,53 @@ class TestSchemaVersioning:
         assert store.load(keys[2]) is not None
 
 
+class TestLoadMany:
+    def test_matches_individual_loads(self, store, quick_context):
+        names = ["tiny-fem", "tiny-social", "tiny-road"]
+        keys = [_memo_key(quick_context, name) for name in names]
+        for name, key in zip(names, keys):
+            store.store(key, quick_context.reports(name))
+        loaded = store.load_many(keys)
+        assert set(loaded) == set(keys)
+        for name, key in zip(names, keys):
+            assert loaded[key] == quick_context.reports(name)
+
+    def test_absent_keys_are_misses(self, store, quick_context):
+        present = _memo_key(quick_context, "tiny-fem")
+        absent = _memo_key(quick_context, "tiny-road")
+        store.store(present, quick_context.reports("tiny-fem"))
+        loaded = store.load_many([present, absent])
+        assert set(loaded) == {present}
+        assert store.session.hits == 1
+        assert store.session.misses == 1
+
+    def test_empty_batch_and_all_missing_shard(self, store, quick_context):
+        assert store.load_many([]) == {}
+        # A batch whose shard directories don't exist yet: all misses.
+        keys = [_memo_key(quick_context, name)
+                for name in ("tiny-fem", "tiny-road")]
+        assert store.load_many(keys) == {}
+        assert store.session.misses == 2
+
+    def test_duplicate_keys_loaded_once(self, store, quick_context):
+        key = _memo_key(quick_context, "tiny-fem")
+        store.store(key, quick_context.reports("tiny-fem"))
+        loaded = store.load_many([key, key, key])
+        assert loaded == {key: quick_context.reports("tiny-fem")}
+        assert store.session.hits == 1
+
+    def test_corrupt_entry_quarantined_in_batch(self, store, quick_context):
+        good = _memo_key(quick_context, "tiny-fem")
+        bad = _memo_key(quick_context, "tiny-road")
+        store.store(good, quick_context.reports("tiny-fem"))
+        bad_path = store.store(bad, quick_context.reports("tiny-road"))
+        bad_path.write_text("{not json")
+        loaded = store.load_many([good, bad])
+        assert set(loaded) == {good}
+        assert store.session.quarantined == 1
+        assert not bad_path.exists()
+
+
 class TestConcurrency:
     def test_concurrent_writers_atomic(self, store, quick_context):
         """Racing writers on one key leave a valid entry and no temp files."""

@@ -1,0 +1,124 @@
+"""Design-space surrogate: constraint parsing, fit quality, trust model."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.search import DesignConfig
+from repro.experiments.surrogate import (
+    MIN_TRAIN_POINTS,
+    SKIP_TOLERANCE,
+    Constraint,
+    DesignSurrogate,
+    parse_constraint,
+    pe_area_words,
+)
+from repro.accelerator.config import scaled_default_config
+
+
+class TestParseConstraint:
+    def test_metrics_and_aliases(self):
+        assert parse_constraint("traffic<=1e9") == Constraint("traffic", 1e9)
+        assert parse_constraint("dram_words<=5") == Constraint("traffic", 5.0)
+        assert parse_constraint("ENERGY<=2.5e10").metric == "energy"
+        assert parse_constraint("area<=8192").metric == "pe_area"
+        assert parse_constraint(" pe_area <= 8192 ").bound == 8192.0
+
+    def test_existing_constraint_passes_through(self):
+        constraint = Constraint("energy", 10.0)
+        assert parse_constraint(constraint) is constraint
+
+    def test_label_round_trips(self):
+        constraint = parse_constraint("traffic<=60000")
+        assert parse_constraint(constraint.label) == constraint
+
+    @pytest.mark.parametrize("text", [
+        "traffic", "traffic>=1", "traffic<=", "traffic<=zebra",
+        "bogus<=1", "traffic<=-5", "traffic<=0", "traffic<=inf",
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            parse_constraint(text)
+
+
+class TestPeArea:
+    def test_matches_architecture_product(self):
+        architecture = scaled_default_config()
+        assert pe_area_words(architecture) == (
+            architecture.num_pes * architecture.pe_buffer_capacity_words)
+
+
+def _grid_configs():
+    return [DesignConfig(y, glb, pe)
+            for y in (0.02, 0.05, 0.10, 0.22)
+            for glb in (0.5, 1.0, 2.0)
+            for pe in (0.5, 1.0, 2.0)]
+
+
+def _smooth_objectives(config):
+    """A noiseless log-polynomial landscape the degree-2 fit can nail."""
+    traffic = 1e6 * config.overbooking_target ** -0.3 * config.glb_scale ** -0.8
+    energy = 1e8 * config.glb_scale ** -0.5 * config.pe_scale ** 0.2
+    return (traffic, energy)
+
+
+class TestDesignSurrogate:
+    def test_undertrained_group_predicts_none(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        configs = _grid_configs()
+        for config in configs[:MIN_TRAIN_POINTS - 1]:
+            surrogate.observe("gram", "w", config, _smooth_objectives(config))
+        assert not surrogate.trained("gram", "w")
+        assert surrogate.predict("gram", "w", configs[:2]) is None
+        assert surrogate.trained("gram", "missing") is False
+
+    def test_fits_smooth_landscape_accurately(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        configs = _grid_configs()
+        for config in configs:
+            surrogate.observe("gram", "w", config, _smooth_objectives(config))
+        held_out = [DesignConfig(0.07, 0.7, 1.5), DesignConfig(0.15, 1.4, 0.7)]
+        predicted = surrogate.predict("gram", "w", held_out)
+        exact = np.array([_smooth_objectives(c) for c in held_out])
+        assert np.allclose(predicted, exact, rtol=0.02)
+
+    def test_groups_are_independent(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        for config in _grid_configs():
+            surrogate.observe("gram", "w", config, _smooth_objectives(config))
+        assert surrogate.trained("gram", "w")
+        assert not surrogate.trained("spmv", "w")
+        assert surrogate.predict("spmv", "w", _grid_configs()[:1]) is None
+
+    def test_trust_band_none_until_errors_recorded(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        for config in _grid_configs():
+            surrogate.observe("gram", "w", config, _smooth_objectives(config))
+        assert surrogate.error_margin("gram", "w") is None
+        assert surrogate.trust_band("gram", "w") is None
+
+    def test_trust_band_shrinks_with_observed_errors(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        exact = np.array([[100.0, 200.0]])
+        surrogate.record_errors("gram", "w", exact * 1.001, exact)
+        accurate_band = surrogate.trust_band("gram", "w")
+        assert accurate_band == pytest.approx(SKIP_TOLERANCE, rel=0.1)
+
+        surrogate.record_errors("gram", "w",
+                                np.repeat(exact * 1.30, 50, axis=0),
+                                np.repeat(exact, 50, axis=0))
+        degraded_band = surrogate.trust_band("gram", "w")
+        assert degraded_band < 0  # errors beyond tolerance: band goes negative
+        assert degraded_band < accurate_band
+
+    def test_error_is_worst_objective_per_row(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        exact = np.array([[100.0, 200.0]])
+        predicted = np.array([[100.0, 240.0]])  # 0% and 20% off
+        surrogate.record_errors("gram", "w", predicted, exact)
+        assert surrogate.error_margin("gram", "w") == pytest.approx(
+            surrogate.safety * 0.20)
+
+    def test_empty_error_batch_is_a_no_op(self):
+        surrogate = DesignSurrogate(num_pes=128)
+        surrogate.record_errors("gram", "w", np.empty((0, 2)), np.empty((0, 2)))
+        assert surrogate.trust_band("gram", "w") is None
