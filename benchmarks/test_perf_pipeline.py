@@ -66,3 +66,43 @@ def test_warm_context_reuses_memoized_pipeline():
         f"warm all_reports took {elapsed:.2f}s; the report/matrix memos should "
         "make repeated contexts nearly free"
     )
+
+
+def test_bench_pipeline_has_server_section():
+    """The recorded benchmark trajectory must carry the daemon's load-test
+    section: >= 4 concurrent clients, p50/p99 latency and throughput per
+    phase, and a repeated-request (hot) warm hit rate above 90%."""
+    import json
+    from pathlib import Path
+
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    payload = json.loads(bench_path.read_text())
+    assert "server" in payload, (
+        "BENCH_pipeline.json has no server section; run "
+        "scripts/bench_server.py (or scripts/bench_pipeline.py)")
+    server = payload["server"]
+    assert server["clients"] >= 4
+    for name in ("cold", "hot", "mixed"):
+        phase = server["phases"][name]
+        assert phase["requests"] > 0
+        assert phase["latency_p50_ms"] > 0
+        assert phase["latency_p99_ms"] >= phase["latency_p50_ms"]
+        assert phase["throughput_rps"] > 0
+    assert server["phases"]["hot"]["warm_hit_rate"] > 0.90, (
+        "the repeated-request phase must be served from the memo/store")
+
+
+def test_server_load_generator_live():
+    """The load generator itself, on a reduced profile: the coalescing
+    daemon must serve the hot phase entirely from the warm path and shut
+    down cleanly (no leaked shm segments — the autouse conftest check)."""
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+    from bench_server import run_server_bench
+
+    section = run_server_bench(clients=4, hot_rounds=2)
+    assert section["phases"]["hot"]["warm_hit_rate"] > 0.90
+    assert section["service"]["coalesced"] > 0, (
+        "concurrent identical requests should coalesce into shared passes")

@@ -35,7 +35,12 @@ performance trajectory to compare against.  Stages:
   (:mod:`repro.experiments.surrogate`), recording wall times, exact
   evaluation counts, the reduction factor, and the surrogate frontier's
   precision/recall against the brute-force frontier (pinned at 1.0/1.0 —
-  the frontiers must be identical).
+  the frontiers must be identical);
+* ``server`` — the evaluation daemon (:mod:`repro.server`) under the
+  ``scripts/bench_server.py`` load generator: N concurrent clients over a
+  mixed hot/cold request stream, recording per-phase p50/p99 latency,
+  throughput, and memo/store warm hit rates (the repeated-request phase
+  must stay above 90 %).
 
 Run with::
 
@@ -314,6 +319,16 @@ def _bench_search() -> dict:
     }
 
 
+def _bench_server() -> dict:
+    """The daemon under concurrent load (see ``scripts/bench_server.py``)."""
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    try:
+        from bench_server import run_server_bench
+    finally:
+        sys.path.pop(0)
+    return run_server_bench()
+
+
 def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
     clear_process_caches()
 
@@ -364,6 +379,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
 
     batch_grid = _bench_batch_grid()
     search = _bench_search()
+    server = _bench_server()
 
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -385,6 +401,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         "shard_scaling_note": shard_note,
         "batch_grid": batch_grid,
         "search": search,
+        "server": server,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
         "speedup_batch_vs_loop": batch_grid["speedup_batch_vs_loop"],
@@ -443,6 +460,12 @@ def main(argv=None) -> int:
           f"({search['evaluation_reduction']:.2f}x fewer), frontier "
           f"precision/recall {search['frontier_precision']:.2f}/"
           f"{search['frontier_recall']:.2f}, equal={search['frontier_equal']}")
+    server = result["server"]
+    hot = server["phases"]["hot"]
+    print(f"server: {server['clients']} clients, hot phase p50 "
+          f"{hot['latency_p50_ms']:.1f}ms / p99 {hot['latency_p99_ms']:.1f}ms "
+          f"at {hot['throughput_rps']:.1f} req/s, warm hit rate "
+          f"{hot['warm_hit_rate']:.0%}")
     print(f"wrote {args.output}")
     return 0
 

@@ -26,6 +26,7 @@ DOC_FILES = (
     "PERFORMANCE.md",
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
+    "docs/SERVER.md",
 )
 
 #: ``[text](target)`` — good enough for the plain links these docs use

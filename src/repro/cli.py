@@ -40,6 +40,14 @@ Subcommands
     traffic/energy frontier per kernel × workload (see
     :mod:`repro.experiments.search`).
 
+``serve``
+    Run the evaluation daemon (see :mod:`repro.server` and
+    ``docs/SERVER.md``): ``run``, ``sweep`` and ``search`` become JSON
+    endpoints over one shared scheduler + store, concurrent clients'
+    requests are coalesced into shared evaluation passes, and results
+    stream back as chunked JSON lines — byte-identical artifacts to the
+    CLI path.
+
 ``store``
     Inspect (``store stats``), integrity-check (``store verify``) or
     garbage-collect (``store gc``) a persistent report store directory (see
@@ -73,6 +81,7 @@ Examples (the full reference with sample output lives in ``docs/CLI.md``)::
     python -m repro merge --suite quick --store .repro-store
     python -m repro run fig14 --quick --store .repro-store
     python -m repro search --suite quick --generations 2 --store .repro-store
+    python -m repro serve --port 8734 --store .repro-store
     python -m repro store stats --store .repro-store
     python -m repro store verify --store .repro-store --clear
     python -m repro store gc --store .repro-store
@@ -111,6 +120,7 @@ from repro.experiments.store import (
     format_verify,
 )
 from repro.experiments.sweep import format_summaries, sweep_grid
+from repro.server.service import DEFAULT_BATCH_WINDOW as SERVER_DEFAULT_BATCH_WINDOW
 from repro.tensor.kernels import kernel_names
 from repro.tensor.suite import corpus_suite, default_suite, small_suite, synth_suite
 from repro.tensor.synth import model_names, parse_synth_spec
@@ -407,6 +417,30 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--force", action="store_true",
                         help="overwrite existing frontier.json/frontier.csv")
     _add_store_argument(search)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the evaluation daemon: run/sweep/search as JSON "
+                      "endpoints, concurrent clients coalesced into shared "
+                      "scheduler passes (see docs/SERVER.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="bind port; 0 picks a free one — the chosen "
+                            "port is printed on stderr (default: 8734)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes per evaluation pass "
+                            "(default: CPU count; 1 = serial)")
+    serve.add_argument("--batch-window", type=float,
+                       default=SERVER_DEFAULT_BATCH_WINDOW, metavar="SECONDS",
+                       help="how long each pass waits for more clients to "
+                            "coalesce with it (default: "
+                            f"{SERVER_DEFAULT_BATCH_WINDOW:g}s; 0 disables)")
+    serve.add_argument("--no-batch", action="store_true",
+                       help="evaluate one cell at a time instead of through "
+                            "the vectorized batch engine")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    _add_store_argument(serve)
 
     store = subparsers.add_parser(
         "store", help="inspect or garbage-collect a report store")
@@ -740,6 +774,25 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0 if status.complete else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.http import create_server
+    from repro.server.http import serve as run_server
+
+    store = _store_for(args)
+    server = create_server(
+        host=args.host, port=args.port, store=store,
+        max_workers=args.workers, use_batch=not args.no_batch,
+        batch_window=args.batch_window, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    store_note = str(store.root) if store is not None else "none (in-memory)"
+    print(f"[server] serving on http://{host}:{port} "
+          f"(store: {store_note}); POST /shutdown or Ctrl-C to stop",
+          file=sys.stderr, flush=True)
+    run_server(server)
+    print("[server] drained and stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     # gc must be able to open a store written under another schema — it is
     # the tool that prunes such entries; stats checks the marker.  Neither
@@ -769,7 +822,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
                 "merge": _cmd_merge, "status": _cmd_status,
-                "search": _cmd_search, "store": _cmd_store}
+                "search": _cmd_search, "serve": _cmd_serve,
+                "store": _cmd_store}
     try:
         return handlers[args.command](args)
     except StoreError as error:

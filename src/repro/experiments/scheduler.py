@@ -39,7 +39,7 @@ import sys
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.accelerator.config import ArchitectureConfig
 from repro.experiments.runner import (
@@ -47,6 +47,12 @@ from repro.experiments.runner import (
     memoized_reports,
     store_memoized_reports,
 )
+
+#: Signature of the per-request completion hook: ``(request, reports,
+#: source)`` with ``source`` one of ``"store"`` (served from the on-disk
+#: store) or ``"computed"`` (freshly evaluated this pass).
+ResultHook = Callable[
+    ["EvaluationRequest", Dict[str, "PerformanceReport"], str], None]
 from repro.model.stats import PerformanceReport
 from repro.tensor.suite import suite_from_token
 
@@ -297,14 +303,36 @@ class EvaluationScheduler:
         self.use_shared_memory = bool(use_shared_memory)
 
     # ------------------------------------------------------------------ #
-    def prefetch(self, requests: Sequence[EvaluationRequest]) -> ScheduleStats:
+    def prefetch(self, requests: Sequence[EvaluationRequest], *,
+                 on_result: Optional[ResultHook] = None) -> ScheduleStats:
         """Ensure every request's reports are in the process-wide memo.
 
         Deduplicates against the memo, evaluates the cold remainder (in
         parallel when worth it), merges the results, and reports what it did.
         Afterwards ``context.reports(...)`` for any covered configuration is
         a memo hit.
+
+        ``on_result`` is an optional per-request completion hook, invoked in
+        *this* process the moment a request's reports become available —
+        with ``source="store"`` for on-disk hits and ``source="computed"``
+        for fresh evaluations (requests already warm in the memo never fire
+        it; they were never scheduled).  The evaluation service streams
+        per-cell progress to its clients through this.  Hook exceptions are
+        swallowed (reported to stderr): a broken observer must not kill a
+        batch other clients are coalesced into.
         """
+        def notify(request: EvaluationRequest,
+                   reports: Dict[str, PerformanceReport],
+                   source: str) -> None:
+            if on_result is None:
+                return
+            try:
+                on_result(request, reports, source)
+            except Exception as error:  # noqa: BLE001 - observer, not critic
+                print(f"[scheduler] on_result hook failed for "
+                      f"{request.workload}/{request.kernel}: {error!r}",
+                      file=sys.stderr)
+
         unique: Dict[tuple, EvaluationRequest] = {}
         for request in requests:
             if request.suite_token is None:
@@ -329,6 +357,7 @@ class EvaluationScheduler:
                 if reports is not None:
                     store_memoized_reports(key, reports)
                     store_hits += 1
+                    notify(request, reports, "store")
                 else:
                     cold.append(request)
         else:
@@ -347,6 +376,7 @@ class EvaluationScheduler:
                 # Persist immediately (one atomic file per request), so an
                 # interrupted batch keeps everything it finished.
                 self.store.store(request.memo_key, reports)
+            notify(request, reports, "computed")
 
         # The unit of fan-out: with batching, one unit is every cold cell of
         # a (suite, kernel, workload) group — the vectorized evaluator

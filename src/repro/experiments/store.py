@@ -84,6 +84,15 @@ QUARANTINE_DIR = "quarantine"
 #: Subdirectory holding shard work-claim leases (see repro.experiments.shard).
 LEASES_DIR = "leases"
 
+#: How old (seconds since last modification) a leftover ``*.tmp*`` file must
+#: be before :meth:`ReportStore.gc` reaps it.  A temp file younger than this
+#: may belong to a *live* writer between its write and its ``os.replace`` —
+#: unlinking it would fail that write out from under the writer (and the
+#: retry layer would misreport the resulting ``FileNotFoundError`` burst as
+#: transient I/O).  Genuinely orphaned temp files (a writer that died) age
+#: past the grace period and are collected by the next gc.
+TMP_GRACE_SECONDS = 60.0
+
 
 class StoreError(RuntimeError):
     """Base class for report-store failures."""
@@ -227,7 +236,12 @@ class SessionStats:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """On-disk state of a store, from a full scan (``store stats``)."""
+    """On-disk state of a store, from a full scan (``store stats``).
+
+    ``skipped`` counts entries that vanished between being listed and being
+    read — a concurrent ``gc`` or quarantine move on a *live* store; the
+    scan tolerates and reports them instead of crashing.
+    """
 
     entries: int
     total_bytes: int
@@ -237,6 +251,7 @@ class StoreStats:
     schema_versions: Dict[str, int]
     manifests: int
     quarantined: int = 0
+    skipped: int = 0
 
 
 @dataclass(frozen=True)
@@ -255,17 +270,24 @@ class VerifyStats:
     stale_schema: int
     quarantine_backlog: int
     cleared: int
+    skipped: int = 0
 
 
 @dataclass(frozen=True)
 class GcStats:
-    """Outcome of one ``store gc`` pass."""
+    """Outcome of one ``store gc`` pass.
+
+    ``skipped`` counts paths that vanished mid-pass (a racing gc/quarantine
+    on a live store) plus temp files left alone because they are younger
+    than the grace period — i.e. possibly a live writer's in-flight file.
+    """
 
     scanned: int
     removed_entries: int
     removed_temp_files: int
     reclaimed_bytes: int
     kept: int
+    skipped: int = 0
 
 
 # --------------------------------------------------------------------- #
@@ -539,7 +561,7 @@ class ReportStore:
         schema migration.  ``clear=True`` empties ``quarantine/`` after the
         scan.
         """
-        scanned = ok = quarantined = stale = 0
+        scanned = ok = quarantined = stale = skipped = 0
         for path in list(self._entry_paths()):
             scanned += 1
             try:
@@ -552,6 +574,11 @@ class ReportStore:
                     continue
                 for data in payload["reports"].values():
                     decode_report(data)
+            except FileNotFoundError:
+                # Vanished between listing and reading (a racing gc or
+                # quarantine move on a live store): nothing left to verify.
+                skipped += 1
+                continue
             except (json.JSONDecodeError, KeyError, TypeError, ValueError,
                     AttributeError) as error:
                 self.quarantine_entry(path, reason=f"verify: {error!r}")
@@ -561,26 +588,42 @@ class ReportStore:
         cleared = 0
         if clear:
             for quarantine_path in list(self.quarantine_paths()):
-                quarantine_path.unlink()
+                try:
+                    quarantine_path.unlink()
+                except FileNotFoundError:
+                    continue
                 cleared += 1
         backlog = len(list(self.quarantine_paths()))
         return VerifyStats(scanned=scanned, ok=ok, quarantined=quarantined,
                            stale_schema=stale, quarantine_backlog=backlog,
-                           cleared=cleared)
+                           cleared=cleared, skipped=skipped)
 
     def stats(self) -> StoreStats:
-        """Scan the store and summarize what it holds."""
+        """Scan the store and summarize what it holds.
+
+        Safe against a concurrently mutating store: entries that vanish
+        between being listed and being read (a racing ``gc`` or quarantine
+        move) are skipped and counted in :attr:`StoreStats.skipped` instead
+        of crashing the scan.
+        """
         entries = 0
         total_bytes = 0
         reports = 0
+        skipped = 0
         kernels: Dict[str, int] = {}
         workloads = set()
         versions: Dict[str, int] = {}
         for path in self._entry_paths():
-            entries += 1
-            total_bytes += path.stat().st_size
             try:
-                payload = json.loads(path.read_text())
+                size = path.stat().st_size
+                raw = path.read_text()
+            except FileNotFoundError:
+                skipped += 1
+                continue
+            entries += 1
+            total_bytes += size
+            try:
+                payload = json.loads(raw)
             except json.JSONDecodeError:
                 versions["corrupt"] = versions.get("corrupt", 0) + 1
                 continue
@@ -602,40 +645,73 @@ class ReportStore:
             schema_versions=versions,
             manifests=manifests,
             quarantined=len(list(self.quarantine_paths())),
+            skipped=skipped,
         )
 
-    def gc(self) -> GcStats:
-        """Prune entries this build cannot read, plus stale temp files.
+    def gc(self, *, tmp_grace_seconds: float = TMP_GRACE_SECONDS,
+           now: Optional[float] = None) -> GcStats:
+        """Prune entries this build cannot read, plus *orphaned* temp files.
 
         Removes entries whose ``schema_version`` differs from
         :data:`SCHEMA_VERSION`, entries that fail to parse, leftover
         ``*.tmp*`` files from interrupted writers, and shard directories
         emptied by the above.
+
+        Safe to run against a *live* store: temp files younger than
+        ``tmp_grace_seconds`` are left alone — they may belong to a writer
+        between its write and its atomic ``os.replace`` publish, and
+        unlinking them would fail that write out from under it.  Paths that
+        vanish mid-pass (a concurrent gc, a racing writer's publish) are
+        skipped, never fatal.  ``now`` is injectable for tests (defaults to
+        ``time.time()``, the clock ``st_mtime`` is measured against).
         """
-        scanned = removed = reclaimed = kept = 0
+        scanned = removed = reclaimed = kept = skipped = 0
         objects = self.root / OBJECTS_DIR
+        reap_before = (time.time() if now is None else now) - tmp_grace_seconds
         for path in list(self._entry_paths()):
             scanned += 1
             try:
                 payload = json.loads(path.read_text())
                 stale = payload.get("schema_version") != SCHEMA_VERSION
+            except FileNotFoundError:
+                skipped += 1
+                continue
             except json.JSONDecodeError:
                 stale = True
             if stale:
-                reclaimed += path.stat().st_size
-                path.unlink()
+                try:
+                    reclaimed += path.stat().st_size
+                    path.unlink()
+                except FileNotFoundError:
+                    skipped += 1
+                    continue
                 removed += 1
             else:
                 kept += 1
         removed_tmp = 0
         if objects.exists():
             for tmp in objects.rglob("*.tmp*"):
-                reclaimed += tmp.stat().st_size
-                tmp.unlink()
+                try:
+                    status = tmp.stat()
+                    if status.st_mtime > reap_before:
+                        # Young enough to be a live writer's in-flight file:
+                        # leave it for a later gc to judge again.
+                        skipped += 1
+                        continue
+                    tmp.unlink()
+                except FileNotFoundError:
+                    skipped += 1
+                    continue
+                reclaimed += status.st_size
                 removed_tmp += 1
             for shard in objects.iterdir():
-                if shard.is_dir() and not any(shard.iterdir()):
-                    shard.rmdir()
+                try:
+                    if shard.is_dir() and not any(shard.iterdir()):
+                        shard.rmdir()
+                except (FileNotFoundError, OSError):
+                    # Vanished, or a racing writer repopulated it between
+                    # the emptiness check and the rmdir: both fine.
+                    continue
         # Everything left is readable under the current schema: refresh the
         # marker so future opens (which check it) succeed.
         _atomic_write_json(self.root / MARKER_NAME, {
@@ -644,7 +720,7 @@ class ReportStore:
         })
         return GcStats(scanned=scanned, removed_entries=removed,
                        removed_temp_files=removed_tmp,
-                       reclaimed_bytes=reclaimed, kept=kept)
+                       reclaimed_bytes=reclaimed, kept=kept, skipped=skipped)
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
@@ -693,6 +769,9 @@ def format_stats(stats: StoreStats, session: Optional[SessionStats] = None,
     lines.append(f"  quarantined    : {stats.quarantined}"
                  + (" (inspect/clear with 'store verify')"
                     if stats.quarantined else ""))
+    if stats.skipped:
+        lines.append(f"  skipped        : {stats.skipped} entr(ies) vanished "
+                     f"mid-scan (concurrent gc/quarantine)")
     if session is not None:
         lines.append(f"  this session   : {session.hits} hits, "
                      f"{session.misses} misses, {session.writes} writes, "

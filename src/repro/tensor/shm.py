@@ -39,6 +39,7 @@ every worker rebuilds them bit-identically from the token.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -86,7 +87,15 @@ class SuiteManifest:
 
 #: Parent-side registry: segment name → (SharedMemory, refcount).  Keyed by
 #: suite token so repeated exports of the same suite share one segment.
+#: Reference counts are read-modify-write, so every access goes through
+#: ``_REGISTRY_LOCK`` — concurrent server requests sharing a suite would
+#: otherwise lose increments (premature unlink under a live exporter) or
+#: lose decrements (a leaked segment outliving the process).
 _EXPORTED: Dict[tuple, List] = {}
+
+#: Guards ``_EXPORTED`` (the whole export path holds it, so two concurrent
+#: cold exports of one token cannot each create a segment).
+_REGISTRY_LOCK = threading.Lock()
 
 #: Worker-side attachments kept alive for the life of the process (the CSR
 #: views borrow the segment's buffer, so it must not be closed under them).
@@ -99,7 +108,8 @@ def active_segments() -> List[str]:
     Only parent-side exports count — a non-empty result after a sweep means
     a missing :func:`release_suite` (the leak the test teardown checks for).
     """
-    return sorted(entry[0].name for entry in _EXPORTED.values())
+    with _REGISTRY_LOCK:
+        return sorted(entry[0].name for entry in _EXPORTED.values())
 
 
 def _align(offset: int, alignment: int = 16) -> int:
@@ -144,54 +154,49 @@ def export_suite(suite_token: tuple, workloads: Sequence[str], *,
 
     Re-exporting a token already live bumps its reference count and returns
     an equivalent manifest; every export must be paired with one
-    :func:`release_suite`.
+    :func:`release_suite`.  Thread-safe: the registry lock is held for the
+    whole export, so concurrent exporters of one token always share a single
+    segment (exports of *different* tokens serialize too — segment creation
+    is cheap next to the evaluations it feeds).
     """
-    live = _EXPORTED.get(suite_token)
-    if live is not None:
-        live[1] += 1
-        return live[2]
+    with _REGISTRY_LOCK:
+        live = _EXPORTED.get(suite_token)
+        if live is not None:
+            live[1] += 1
+            return live[2]
 
-    try:
-        from multiprocessing import shared_memory
-    except ImportError:  # pragma: no cover - always present on CPython 3.8+
-        return None
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:  # pragma: no cover - always present on CPython 3.8+
+            return None
 
-    suite = suite_from_token(suite_token)
-    scope, seed, _ = suite_token
-    matrices: Dict[tuple, SparseMatrix] = {}
-    for name in workloads:
-        matrices[(scope, seed, name)] = suite.matrix(name)
-        if include_pairs:
-            matrices[(scope, seed, name, "pair")] = suite.paired_matrix(name)
+        suite = suite_from_token(suite_token)
+        scope, seed, _ = suite_token
+        matrices: Dict[tuple, SparseMatrix] = {}
+        for name in workloads:
+            matrices[(scope, seed, name)] = suite.matrix(name)
+            if include_pairs:
+                matrices[(scope, seed, name, "pair")] = suite.paired_matrix(name)
 
-    planned, total_bytes = _layout(matrices)
-    try:
-        segment = shared_memory.SharedMemory(create=True, size=total_bytes)
-    except (OSError, ValueError):
-        return None
-    for cache_key, spec in planned:
-        csr = matrices[cache_key].csr
-        for field in ("data", "indices", "indptr"):
-            array_spec: ArraySpec = getattr(spec, field)
-            view = _view(segment.buf, array_spec)
-            view[:] = getattr(csr, field)
-    manifest = SuiteManifest(segment_name=segment.name,
-                             suite_token=suite_token,
-                             entries=tuple(planned))
-    _EXPORTED[suite_token] = [segment, 1, manifest]
-    return manifest
+        planned, total_bytes = _layout(matrices)
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=total_bytes)
+        except (OSError, ValueError):
+            return None
+        for cache_key, spec in planned:
+            csr = matrices[cache_key].csr
+            for field in ("data", "indices", "indptr"):
+                array_spec: ArraySpec = getattr(spec, field)
+                view = _view(segment.buf, array_spec)
+                view[:] = getattr(csr, field)
+        manifest = SuiteManifest(segment_name=segment.name,
+                                 suite_token=suite_token,
+                                 entries=tuple(planned))
+        _EXPORTED[suite_token] = [segment, 1, manifest]
+        return manifest
 
 
-def release_suite(suite_token: tuple) -> None:
-    """Drop one reference to an exported suite; last one unlinks the segment."""
-    live = _EXPORTED.get(suite_token)
-    if live is None:
-        return
-    live[1] -= 1
-    if live[1] > 0:
-        return
-    del _EXPORTED[suite_token]
-    segment = live[0]
+def _close_and_unlink(segment) -> None:
     try:
         segment.close()
     finally:
@@ -201,12 +206,32 @@ def release_suite(suite_token: tuple) -> None:
             pass
 
 
+def release_suite(suite_token: tuple) -> None:
+    """Drop one reference to an exported suite; last one unlinks the segment.
+
+    Thread-safe: the decrement and the remove-at-zero decision happen under
+    the registry lock, so concurrent releases (or a release racing an
+    export) can neither double-unlink a segment nor leak one.
+    """
+    with _REGISTRY_LOCK:
+        live = _EXPORTED.get(suite_token)
+        if live is None:
+            return
+        live[1] -= 1
+        if live[1] > 0:
+            return
+        del _EXPORTED[suite_token]
+        segment = live[0]
+    _close_and_unlink(segment)
+
+
 def release_all() -> None:
     """Release every live export unconditionally (crash-path cleanup)."""
-    for token in list(_EXPORTED):
-        entry = _EXPORTED[token]
-        entry[1] = 1
-        release_suite(token)
+    with _REGISTRY_LOCK:
+        entries = list(_EXPORTED.values())
+        _EXPORTED.clear()
+    for segment, _count, _manifest in entries:
+        _close_and_unlink(segment)
 
 
 def attach_suite(manifest: SuiteManifest) -> None:

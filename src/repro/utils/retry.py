@@ -12,7 +12,12 @@ used everywhere such an operation is retried:
   from a seeded :class:`random.Random`, decorrelating workers that fail at
   the same instant (e.g. ten shard workers hitting one NFS hiccup) while
   staying deterministic for tests: the jitter sequence is a pure function of
-  the seed and the call order, never of wall time.
+  the seed and the call order, never of wall time.  The default stream is
+  **thread-local**: every thread draws from its own seeded generator, so
+  concurrent retries (server worker threads, the evaluation service loop)
+  neither race on shared RNG state nor perturb each other's schedules —
+  each thread's jitter stays a pure function of the seed and *that
+  thread's* call order.
 * **Immediate give-up classes** — ``give_up_on`` exceptions re-raise at
   once.  ``FileNotFoundError`` is the canonical member: a missing store
   entry is a *miss*, not a transient fault, and must not eat three backoff
@@ -25,6 +30,7 @@ Exhausting ``attempts`` re-raises the last error unchanged, so callers'
 from __future__ import annotations
 
 import random
+import threading
 import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
@@ -33,16 +39,37 @@ T = TypeVar("T")
 #: Fraction of each backoff delay that jitter may add (bounded above).
 _JITTER_FRACTION = 0.25
 
-#: Seed of the module-wide jitter stream (used when no rng is supplied).
+#: Seed of the default jitter streams (used when no rng is supplied).
 _JITTER_SEED = 0x7E7A11
 
-_default_rng = random.Random(_JITTER_SEED)
+#: Seed handed to each thread's stream on first use (``reset_jitter_rng``
+#: updates it for threads that have not drawn yet).
+_thread_seed = _JITTER_SEED
+
+#: Thread-local storage of the default jitter stream.  A single module-wide
+#: ``random.Random`` is not safe for concurrent server threads: interleaved
+#: calls race on the shared Mersenne state and make each call-site's backoff
+#: sequence depend on what *other* threads happened to retry.
+_local = threading.local()
+
+
+def _default_rng() -> random.Random:
+    """This thread's default jitter stream (created seeded on first use)."""
+    rng = getattr(_local, "rng", None)
+    if rng is None:
+        rng = _local.rng = random.Random(_thread_seed)
+    return rng
 
 
 def reset_jitter_rng(seed: int = _JITTER_SEED) -> None:
-    """Re-seed the module-wide jitter stream (tests pin determinism with it)."""
-    global _default_rng
-    _default_rng = random.Random(seed)
+    """Re-seed the default jitter stream (tests pin determinism with it).
+
+    Resets the *calling thread's* stream immediately and records ``seed`` as
+    the one future threads start their streams from.
+    """
+    global _thread_seed
+    _thread_seed = seed
+    _local.rng = random.Random(seed)
 
 
 def backoff_delays(attempts: int, *, base_delay: float, max_delay: float,
@@ -53,7 +80,7 @@ def backoff_delays(attempts: int, *, base_delay: float, max_delay: float,
     ``delay_i = min(max_delay, base_delay * 2**i) * (1 + U_i)`` with
     ``U_i ~ Uniform[0, 0.25)`` drawn from the seeded stream.
     """
-    rng = rng if rng is not None else _default_rng
+    rng = rng if rng is not None else _default_rng()
     return [min(max_delay, base_delay * (2 ** i))
             * (1.0 + _JITTER_FRACTION * rng.random())
             for i in range(max(0, attempts - 1))]

@@ -1,6 +1,8 @@
 """Persistent report store: round-trips, schema versioning, atomicity."""
 
 import json
+import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -9,6 +11,7 @@ from repro.experiments.runner import ExperimentContext, clear_process_caches
 from repro.experiments.scheduler import EvaluationScheduler
 from repro.experiments.store import (
     SCHEMA_VERSION,
+    TMP_GRACE_SECONDS,
     GcStats,
     ReportStore,
     StoreError,
@@ -172,7 +175,12 @@ class TestSchemaVersioning:
         stale["schema_version"] = 0
         paths[0].write_text(json.dumps(stale))
         paths[1].write_text("garbage")
-        (paths[2].parent / (paths[2].name + ".tmpleftover")).write_text("x")
+        orphan = paths[2].parent / (paths[2].name + ".tmpleftover")
+        orphan.write_text("x")
+        # Age the orphan past the live-writer grace period: gc only reaps
+        # temp files no writer could still be about to publish.
+        stamp = time.time() - 2 * TMP_GRACE_SECONDS
+        os.utime(orphan, (stamp, stamp))
 
         outcome = store.gc()
         assert isinstance(outcome, GcStats)
@@ -298,3 +306,107 @@ class TestStatsAndFormatting:
         assert stats.schema_versions == {str(SCHEMA_VERSION): 3}
         text = format_stats(stats, store.session, root=store.root)
         assert "entries" in text and "gram=3" in text
+
+
+class TestLiveStoreMaintenance:
+    """Maintenance passes racing live readers/writers (the server case)."""
+
+    def test_gc_leaves_a_paused_writers_tmp_file_alone(self, store,
+                                                       quick_context):
+        """Regression: gc used to unlink *every* ``*.tmp*`` unconditionally,
+        deleting a live writer's temp file out from under its ``os.replace``
+        and failing the write.  A temp file younger than the grace period
+        must survive gc, and the paused writer's publish must succeed."""
+        key = _memo_key(quick_context, "tiny-fem")
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # A writer paused between writing its temp file and publishing it —
+        # exactly the file _atomic_write_json would have open.
+        tmp = path.parent / (path.name + ".tmp-paused")
+        tmp.write_text(json.dumps({"half": "written"}))
+
+        outcome = store.gc()
+        assert tmp.exists(), "gc reaped a live writer's in-flight temp file"
+        assert outcome.removed_temp_files == 0
+        assert outcome.skipped >= 1
+
+        # The paused writer resumes: its atomic publish must succeed.
+        os.replace(tmp, path)
+        assert path.exists()
+
+    def test_gc_reaps_orphaned_tmp_files_after_grace(self, store,
+                                                     quick_context):
+        key = _memo_key(quick_context, "tiny-fem")
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        orphan = path.parent / (path.name + ".tmp-orphan")
+        orphan.write_text("dead writer's leftovers")
+
+        # Injectable clock: "now" is far enough in the future that the file
+        # has aged past the grace period.
+        outcome = store.gc(now=time.time() + TMP_GRACE_SECONDS + 1)
+        assert not orphan.exists()
+        assert outcome.removed_temp_files == 1
+
+    def test_stats_tolerates_entries_vanishing_mid_walk(self, store,
+                                                        quick_context,
+                                                        monkeypatch):
+        """Regression: ``stats`` used to ``stat()`` each listed path and
+        crash with FileNotFoundError when a concurrent gc or quarantine
+        move deleted the file between listing and stat."""
+        for name in quick_context.workload_names:
+            store.store(_memo_key(quick_context, name),
+                        quick_context.reports(name))
+        real_entry_paths = store._entry_paths
+
+        def vanishing_entry_paths():
+            for index, path in enumerate(list(real_entry_paths())):
+                if index == 1:
+                    path.unlink()  # a concurrent gc got there first
+                yield path
+
+        monkeypatch.setattr(store, "_entry_paths", vanishing_entry_paths)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.skipped == 1
+        assert "vanished mid-scan" in format_stats(stats)
+
+    def test_gc_tolerates_entries_vanishing_mid_walk(self, store,
+                                                     quick_context,
+                                                     monkeypatch):
+        for name in quick_context.workload_names:
+            store.store(_memo_key(quick_context, name),
+                        quick_context.reports(name))
+        real_entry_paths = store._entry_paths
+
+        def vanishing_entry_paths():
+            for index, path in enumerate(list(real_entry_paths())):
+                if index == 0:
+                    path.unlink()
+                yield path
+
+        monkeypatch.setattr(store, "_entry_paths", vanishing_entry_paths)
+        outcome = store.gc()
+        assert outcome.kept == 2
+        assert outcome.skipped == 1
+        assert outcome.removed_entries == 0
+
+    def test_verify_tolerates_entries_vanishing_mid_walk(self, store,
+                                                         quick_context,
+                                                         monkeypatch):
+        for name in quick_context.workload_names:
+            store.store(_memo_key(quick_context, name),
+                        quick_context.reports(name))
+        real_entry_paths = store._entry_paths
+
+        def vanishing_entry_paths():
+            for index, path in enumerate(list(real_entry_paths())):
+                if index == 2:
+                    path.unlink()
+                yield path
+
+        monkeypatch.setattr(store, "_entry_paths", vanishing_entry_paths)
+        outcome = store.verify()
+        assert outcome.ok == 2
+        assert outcome.skipped == 1
+        assert outcome.quarantined == 0

@@ -1,5 +1,8 @@
 """Tests for the shared-memory suite transport (:mod:`repro.tensor.shm`)."""
 
+import sys
+import threading
+
 import numpy as np
 import pytest
 
@@ -103,3 +106,91 @@ class TestGracefulDegradation:
 
     def test_attach_none_is_silent(self):
         shm.attach_suite(None)
+
+
+class TestConcurrentExportRelease:
+    def test_refcounts_survive_concurrent_export_release(self, token):
+        """Regression: refcount updates were unguarded read-modify-write, so
+        concurrent export/release pairs (server requests sharing one suite)
+        lost increments — unlinking a segment under a live exporter — or
+        lost decrements, leaking the segment past the last release."""
+        _export(token)  # skip early if shm unavailable; warms suite caches
+        shm.release_suite(token)
+        names = list(suite_from_token(token).names)
+
+        n_threads, iterations = 8, 25
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker():
+            try:
+                barrier.wait()
+                for _ in range(iterations):
+                    manifest = shm.export_suite(token, names)
+                    if manifest is not None:
+                        shm.release_suite(token)
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)  # force interleaving inside the RMW
+        try:
+            threads = [threading.Thread(target=worker)
+                       for _ in range(n_threads)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+
+        assert errors == []
+        # Every export was paired with a release: nothing may stay live.
+        assert shm.active_segments() == []
+
+    def test_simultaneous_cold_exports_share_one_segment(self, token,
+                                                         monkeypatch):
+        """Regression (deterministic): pre-fix, two threads exporting a cold
+        token could both observe "not yet exported" and each create a
+        segment — the second overwrote the first in the registry, leaking
+        it.  A barrier inside the suite-build step forces both threads into
+        that window; post-fix the registry lock serializes them and the
+        second exporter reuses the first's segment."""
+        _export(token)  # skip early if shm unavailable; warms suite caches
+        shm.release_suite(token)
+        names = list(suite_from_token(token).names)
+
+        real_suite_from_token = shm.suite_from_token
+        barrier = threading.Barrier(2)
+
+        def rendezvous_suite_from_token(suite_token):
+            # Post-fix only one thread is inside the cold path at a time, so
+            # the barrier times out and breaks — that is the pass case.
+            try:
+                barrier.wait(timeout=1.0)
+            except threading.BrokenBarrierError:
+                pass
+            return real_suite_from_token(suite_token)
+
+        monkeypatch.setattr(shm, "suite_from_token",
+                            rendezvous_suite_from_token)
+
+        manifests = [None, None]
+
+        def worker(index):
+            manifests[index] = shm.export_suite(token, names)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if None in manifests:
+            pytest.skip("shared memory unavailable in this environment")
+        assert manifests[0].segment_name == manifests[1].segment_name
+        assert shm.active_segments() == [manifests[0].segment_name]
+        shm.release_suite(token)
+        shm.release_suite(token)
+        assert shm.active_segments() == []

@@ -1,12 +1,18 @@
 """Retry policy and fault-injection switchboard."""
 
 import random
+import threading
 
 import pytest
 
 from repro.utils import faults
 from repro.utils.faults import FaultInjector, FaultSpecError
-from repro.utils.retry import backoff_delays, retry_transient
+from repro.utils.retry import (
+    _JITTER_SEED,
+    backoff_delays,
+    reset_jitter_rng,
+    retry_transient,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -95,6 +101,74 @@ class TestBackoffSchedule:
         b = backoff_delays(5, base_delay=0.01, max_delay=1.0,
                            rng=random.Random(2))
         assert a != b
+
+
+class TestThreadLocalDefaultJitter:
+    """The *default* jitter stream (no ``rng=`` passed) under threads."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_default_stream(self):
+        reset_jitter_rng()
+        yield
+        reset_jitter_rng()
+
+    def test_worker_thread_schedule_unperturbed_by_main_thread_draws(self):
+        """Regression: the default stream used to be one module-wide
+        ``random.Random`` shared by every thread, so draws on the main
+        thread advanced the state a server worker thread drew from — its
+        backoff schedule depended on unrelated threads' retries."""
+        expected = backoff_delays(5, base_delay=0.01, max_delay=1.0,
+                                  rng=random.Random(_JITTER_SEED))
+        # Main thread draws from *its* default stream first.  Pre-fix this
+        # consumed the worker's values out of the shared generator.
+        backoff_delays(5, base_delay=0.01, max_delay=1.0)
+
+        result = {}
+
+        def worker():
+            result["delays"] = backoff_delays(5, base_delay=0.01,
+                                              max_delay=1.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert result["delays"] == expected
+
+    def test_concurrent_threads_each_get_the_full_seeded_schedule(self):
+        expected = backoff_delays(4, base_delay=0.01, max_delay=1.0,
+                                  rng=random.Random(_JITTER_SEED))
+        n_threads = 8
+        results = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def worker(index):
+            barrier.wait()
+            results[index] = backoff_delays(4, base_delay=0.01, max_delay=1.0)
+
+        threads = [threading.Thread(target=worker, args=(index,))
+                   for index in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [expected] * n_threads
+
+    def test_reset_reseeds_caller_and_threads_started_later(self):
+        reset_jitter_rng(1234)
+        expected = backoff_delays(3, base_delay=0.01, max_delay=1.0,
+                                  rng=random.Random(1234))
+        assert backoff_delays(3, base_delay=0.01, max_delay=1.0) == expected
+
+        result = {}
+
+        def worker():
+            result["delays"] = backoff_delays(3, base_delay=0.01,
+                                              max_delay=1.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert result["delays"] == expected
 
 
 class TestFaultInjector:
