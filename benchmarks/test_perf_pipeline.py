@@ -92,6 +92,27 @@ def test_bench_pipeline_has_server_section():
         "the repeated-request phase must be served from the memo/store")
 
 
+def test_bench_pipeline_has_corpus_section():
+    """The recorded trajectory must carry the corpus-cache section: the
+    offline fixture fetch/install timings and a warm-over-cold speedup
+    (the cache must actually be a cache)."""
+    import json
+    from pathlib import Path
+
+    bench_path = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    payload = json.loads(bench_path.read_text())
+    assert "corpus" in payload, (
+        "BENCH_pipeline.json has no corpus section; run "
+        "scripts/bench_pipeline.py")
+    corpus = payload["corpus"]
+    assert corpus["matrices"] == 5  # every fixture wire format
+    assert corpus["cold_fetch_install_load_seconds"] > 0
+    assert corpus["warm_cache_hit_load_seconds"] > 0
+    assert corpus["warm_vs_cold_speedup"] > 1.0, (
+        "warm cache-hit loading must beat cold fetch+install")
+    assert corpus["warm_matrix_loads_per_second"] > 0
+
+
 def test_server_load_generator_live():
     """The load generator itself, on a reduced profile: the coalescing
     daemon must serve the hot phase entirely from the warm path and shut

@@ -36,6 +36,10 @@ performance trajectory to compare against.  Stages:
   evaluation counts, the reduction factor, and the surrogate frontier's
   precision/recall against the brute-force frontier (pinned at 1.0/1.0 —
   the frontiers must be identical);
+* ``corpus`` — the real-matrix corpus cache (:mod:`repro.tensor.corpus`)
+  against the committed offline fixture corpus: cold transport + checksum +
+  atomic install + parse for every wire format vs. warm cache-hit loading,
+  plus warm matrix loads per second;
 * ``server`` — the evaluation daemon (:mod:`repro.server`) under the
   ``scripts/bench_server.py`` load generator: N concurrent clients over a
   mixed hot/cold request stream, recording per-phase p50/p99 latency,
@@ -319,6 +323,54 @@ def _bench_search() -> dict:
     }
 
 
+def _bench_corpus() -> dict:
+    """The corpus cache: cold fetch+install vs. warm cache-hit loading.
+
+    Runs entirely offline against the committed fixture corpus
+    (``tests/data/corpus/``): the cold phase pays transport + checksum +
+    atomic install + parse for every fixture matrix across all wire
+    formats, the warm phase pays only the installed-file check and parse
+    — the per-evaluation overhead a corpus workload adds once cached.
+    """
+    import tempfile
+
+    from repro.tensor.corpus import CorpusCache, corpus_workload_suite
+
+    manifest = REPO_ROOT / "tests" / "data" / "corpus" / "manifest.json"
+    ids = [
+        "dlmc:fixture/magnitude-080",
+        "dlmc:fixture/random-050",
+        "suitesparse:fixture/fem-band",
+        "suitesparse:fixture/powerlaw-graph",
+        "suitesparse:fixture/cant-mini",
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="bench-corpus-") as tmp:
+        cache = CorpusCache(Path(tmp) / "cache")
+
+        def build_and_load():
+            suite = corpus_workload_suite(
+                ids, manifest=manifest, cache=cache, offline=True)
+            return [suite.matrix(name) for name in suite.names]
+
+        cold = _timed(build_and_load)
+        warm = _timed(build_and_load)
+        rounds = 5
+        start = time.perf_counter()
+        for _ in range(rounds):
+            build_and_load()
+        warm_loads_per_second = rounds * len(ids) / \
+            (time.perf_counter() - start)
+
+    return {
+        "matrices": len(ids),
+        "cold_fetch_install_load_seconds": round(cold, 4),
+        "warm_cache_hit_load_seconds": round(warm, 4),
+        "warm_vs_cold_speedup": round(cold / warm, 2),
+        "warm_matrix_loads_per_second": round(warm_loads_per_second, 1),
+    }
+
+
 def _bench_server() -> dict:
     """The daemon under concurrent load (see ``scripts/bench_server.py``)."""
     sys.path.insert(0, str(REPO_ROOT / "scripts"))
@@ -379,6 +431,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
 
     batch_grid = _bench_batch_grid()
     search = _bench_search()
+    corpus = _bench_corpus()
     server = _bench_server()
 
     return {
@@ -401,6 +454,7 @@ def run_benchmark(workers_sweep=(1, 2, 4)) -> dict:
         "shard_scaling_note": shard_note,
         "batch_grid": batch_grid,
         "search": search,
+        "corpus": corpus,
         "server": server,
         "speedup_cold_vs_seed": round(SEED_ALL_REPORTS_SECONDS / cold, 2),
         "speedup_warm_vs_seed": round(SEED_ALL_REPORTS_SECONDS / warm, 2),
@@ -460,6 +514,12 @@ def main(argv=None) -> int:
           f"({search['evaluation_reduction']:.2f}x fewer), frontier "
           f"precision/recall {search['frontier_precision']:.2f}/"
           f"{search['frontier_recall']:.2f}, equal={search['frontier_equal']}")
+    corpus = result["corpus"]
+    print(f"corpus: {corpus['matrices']} fixture matrices cold "
+          f"fetch+install+load {corpus['cold_fetch_install_load_seconds']:.3f}s"
+          f" -> warm {corpus['warm_cache_hit_load_seconds']:.3f}s "
+          f"({corpus['warm_vs_cold_speedup']:.1f}x, "
+          f"{corpus['warm_matrix_loads_per_second']:.0f} loads/s)")
     server = result["server"]
     hot = server["phases"]["hot"]
     print(f"server: {server['clients']} clients, hot phase p50 "

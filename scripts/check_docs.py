@@ -26,6 +26,7 @@ DOC_FILES = (
     "PERFORMANCE.md",
     "docs/ARCHITECTURE.md",
     "docs/CLI.md",
+    "docs/CORPUS.md",
     "docs/SERVER.md",
 )
 

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Regenerate the deterministic fixture corpus under tests/data/corpus/.
+
+The fixtures stand in for DLMC and SuiteSparse in every offline corpus test
+and CI smoke run: small seeded matrices in each wire format the corpus
+manager speaks (plain ``.mtx``, ``.mtx.gz``, a SuiteSparse-style ``.tar.gz``
+with the matrix as an archive member, and DLMC-style ``.smtx`` masks),
+plus ``manifest.json`` pinning each resource's SHA-256 and dimensions.
+
+Byte-determinism matters (the manifest pins digests), so gzip and tar
+streams are written with zeroed mtimes and fixed ownership.  Rerunning this
+script must reproduce the committed bytes exactly:
+
+    PYTHONPATH=src python scripts/make_fixture_corpus.py [--check]
+
+``--check`` regenerates into a scratch directory and fails if any committed
+fixture differs — CI-friendly drift detection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import hashlib
+import io
+import json
+import sys
+import tarfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.tensor import generators  # noqa: E402
+from repro.tensor.io import write_matrix_market  # noqa: E402
+from repro.tensor.sparse import SparseMatrix  # noqa: E402
+
+FIXTURE_DIR = REPO_ROOT / "tests" / "data" / "corpus"
+
+#: One seed per fixture, derived from a fixed base so matrices are unrelated.
+BASE_SEED = 20230
+
+
+def _mtx_bytes(matrix: SparseMatrix) -> bytes:
+    """MatrixMarket bytes of ``matrix`` (via the library's own writer)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "matrix.mtx"
+        write_matrix_market(matrix, path)
+        return path.read_bytes()
+
+
+def _gzip_bytes(data: bytes) -> bytes:
+    """Gzip ``data`` deterministically (no filename, mtime pinned to 0)."""
+    sink = io.BytesIO()
+    with gzip.GzipFile(filename="", mode="wb", fileobj=sink, mtime=0) as gz:
+        gz.write(data)
+    return sink.getvalue()
+
+
+def _tar_gz_bytes(members: dict) -> bytes:
+    """A deterministic ``.tar.gz`` holding ``{member name: bytes}``."""
+    tar_sink = io.BytesIO()
+    with tarfile.open(fileobj=tar_sink, mode="w", format=tarfile.USTAR_FORMAT) as tar:
+        for name in sorted(members):
+            data = members[name]
+            info = tarfile.TarInfo(name=name)
+            info.size = len(data)
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            tar.addfile(info, io.BytesIO(data))
+    return _gzip_bytes(tar_sink.getvalue())
+
+
+def _smtx_bytes(num_rows: int, num_cols: int, density: float,
+                seed: int) -> bytes:
+    """A DLMC-style ``.smtx`` pruning mask (CSR text, implicit 1.0 values)."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random((num_rows, num_cols)) < density
+    indptr = np.concatenate(([0], np.cumsum(mask.sum(axis=1))))
+    indices = np.nonzero(mask)[1]
+    lines = [
+        f"{num_rows}, {num_cols}, {indices.size}",
+        " ".join(str(int(offset)) for offset in indptr),
+        " ".join(str(int(column)) for column in indices),
+    ]
+    return ("\n".join(lines) + "\n").encode()
+
+
+def build_fixtures() -> dict:
+    """``{filename: bytes}`` for every fixture resource."""
+    fem = generators.banded_matrix(
+        150, bandwidth=9, band_fill=0.7, off_band_nnz=260,
+        rng=np.random.default_rng(BASE_SEED + 1), name="fem-band")
+    graph = generators.power_law_matrix(
+        140, 1_400, alpha=1.7,
+        rng=np.random.default_rng(BASE_SEED + 2), name="powerlaw-graph")
+    mini = generators.uniform_random_matrix(
+        120, 120, 1_100,
+        rng=np.random.default_rng(BASE_SEED + 3), name="cant-mini")
+
+    return {
+        "fem-band.mtx.gz": _gzip_bytes(_mtx_bytes(fem)),
+        "powerlaw-graph.mtx": _mtx_bytes(graph),
+        "cant-mini.tar.gz": _tar_gz_bytes(
+            {"cant-mini/cant-mini.mtx": _mtx_bytes(mini)}),
+        "magnitude-080.smtx": _smtx_bytes(96, 128, 0.20, BASE_SEED + 4),
+        "random-050.smtx": _smtx_bytes(80, 112, 0.50, BASE_SEED + 5),
+    }
+
+
+def _entry(dataset: str, group: str, name: str, url: str, fmt: str,
+           payload: bytes, *, member: str = None,
+           rows: int, cols: int, nnz: int) -> dict:
+    entry = {
+        "dataset": dataset, "group": group, "name": name, "url": url,
+        "sha256": hashlib.sha256(payload).hexdigest(), "format": fmt,
+        "rows": rows, "cols": cols, "nnz": nnz,
+    }
+    if member:
+        entry["member"] = member
+    return entry
+
+
+def build_manifest(fixtures: dict) -> dict:
+    fem = fixtures["fem-band.mtx.gz"]
+    graph = fixtures["powerlaw-graph.mtx"]
+    mini = fixtures["cant-mini.tar.gz"]
+    mag = fixtures["magnitude-080.smtx"]
+    rnd = fixtures["random-050.smtx"]
+
+    def dims(data: bytes) -> tuple:
+        # Peek the nnz from the fixture bytes themselves so the manifest can
+        # never drift from the matrices it describes.
+        text = gzip.decompress(data).decode() if data[:2] == b"\x1f\x8b" \
+            else data.decode()
+        for line in text.splitlines():
+            if line.startswith("%"):
+                continue
+            rows, cols, nnz = (int(part) for part in line.split())
+            return rows, cols, nnz
+        raise ValueError("no size line found")
+
+    fem_dims = dims(fem)
+    graph_dims = dims(graph)
+    mag_header = mag.decode().splitlines()[0].replace(",", " ").split()
+    rnd_header = rnd.decode().splitlines()[0].replace(",", " ").split()
+
+    with tarfile.open(fileobj=io.BytesIO(mini), mode="r:gz") as tar:
+        mini_bytes = tar.extractfile("cant-mini/cant-mini.mtx").read()
+    mini_dims = dims(mini_bytes)
+
+    return {
+        "dataset": "suitesparse",
+        "matrices": [
+            _entry("suitesparse", "fixture", "fem-band", "fem-band.mtx.gz",
+                   "mtx.gz", fem, rows=fem_dims[0], cols=fem_dims[1],
+                   nnz=fem_dims[2]),
+            _entry("suitesparse", "fixture", "powerlaw-graph",
+                   "powerlaw-graph.mtx", "mtx", graph, rows=graph_dims[0],
+                   cols=graph_dims[1], nnz=graph_dims[2]),
+            _entry("suitesparse", "fixture", "cant-mini", "cant-mini.tar.gz",
+                   "tar.gz", mini, member="cant-mini/cant-mini.mtx",
+                   rows=mini_dims[0], cols=mini_dims[1], nnz=mini_dims[2]),
+            _entry("dlmc", "fixture", "magnitude-080", "magnitude-080.smtx",
+                   "smtx", mag, rows=int(mag_header[0]),
+                   cols=int(mag_header[1]), nnz=int(mag_header[2])),
+            _entry("dlmc", "fixture", "random-050", "random-050.smtx",
+                   "smtx", rnd, rows=int(rnd_header[0]),
+                   cols=int(rnd_header[1]), nnz=int(rnd_header[2])),
+        ],
+    }
+
+
+def write_all(directory: Path) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    fixtures = build_fixtures()
+    for filename, payload in fixtures.items():
+        (directory / filename).write_bytes(payload)
+    manifest = build_manifest(fixtures)
+    (directory / "manifest.json").write_text(
+        json.dumps(manifest, indent=1) + "\n")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="verify the committed fixtures match a fresh "
+                             "regeneration instead of writing")
+    options = parser.parse_args()
+
+    if not options.check:
+        write_all(FIXTURE_DIR)
+        print(f"wrote fixture corpus to {FIXTURE_DIR}")
+        return 0
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as scratch:
+        fresh = Path(scratch)
+        write_all(fresh)
+        stale = []
+        for path in sorted(fresh.iterdir()):
+            committed = FIXTURE_DIR / path.name
+            if not committed.exists() or \
+                    committed.read_bytes() != path.read_bytes():
+                stale.append(path.name)
+        if stale:
+            print(f"fixture drift in {', '.join(stale)}; rerun "
+                  f"scripts/make_fixture_corpus.py", file=sys.stderr)
+            return 1
+    print("fixture corpus is up to date")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -54,10 +54,20 @@ Subcommands
     :mod:`repro.experiments.store`).  ``verify`` full-decodes every entry,
     quarantines corrupt ones, and with ``--clear`` empties the quarantine.
 
+``corpus``
+    Manage the real-world matrix cache (see :mod:`repro.tensor.corpus` and
+    ``docs/CORPUS.md``): ``corpus list`` shows the known DLMC/SuiteSparse
+    matrices and their install state, ``corpus fetch`` downloads/verifies/
+    installs them, ``corpus verify`` re-hashes the installed files against
+    their receipts (quarantining corruption), and ``corpus gc`` reclaims the
+    re-fetchable tiers (downloads, quarantine).
+
 ``run``, ``sweep`` and ``search`` take a kernel axis (``--kernel``; Gram
 SpMSpM, general SpMSpM, SpMM, SpMV, SDDMM — see :mod:`repro.tensor.kernels`),
 can evaluate real MatrixMarket corpora (``--matrix path.mtx[.gz]``,
-repeatable) or seeded sparsity-model workloads (``--synth
+repeatable), corpus-managed real datasets (``--corpus
+dataset:group/name,...`` with ``--corpus-manifest``/``--corpus-cache``; see
+:mod:`repro.tensor.corpus`) or seeded sparsity-model workloads (``--synth
 model:param=value,...``, repeatable; see :mod:`repro.tensor.synth`) instead
 of the built-in suites, and accept ``--store DIR`` to serve/persist
 evaluations through the on-disk report store.
@@ -71,7 +81,13 @@ Examples (the full reference with sample output lives in ``docs/CLI.md``)::
     python -m repro run table3 --suite quick        # all kernels, one table
     python -m repro run table4 --quick              # structure-skew ladder
     python -m repro run fig7 --matrix data/cage4.mtx.gz
+    python -m repro run fig7 --corpus suitesparse:Williams/cant
+    python -m repro run table5 --quick               # cross-corpus comparison
     python -m repro run fig7 --synth power_law_rows:alpha=2.1 --synth uniform
+    python -m repro corpus list
+    python -m repro corpus fetch suitesparse:Williams/cant
+    python -m repro corpus verify
+    python -m repro corpus gc
     python -m repro sweep --y 0.05,0.10,0.22 --glb-scales 0.5,1.0
     python -m repro sweep --kernel gram,spmm,spmv --suite quick
     python -m repro sweep --synth uniform --synth banded:bandwidth=24
@@ -91,6 +107,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -121,6 +138,7 @@ from repro.experiments.store import (
 )
 from repro.experiments.sweep import format_summaries, sweep_grid
 from repro.server.service import DEFAULT_BATCH_WINDOW as SERVER_DEFAULT_BATCH_WINDOW
+from repro.tensor import corpus as corpus_manager
 from repro.tensor.kernels import kernel_names
 from repro.tensor.suite import corpus_suite, default_suite, small_suite, synth_suite
 from repro.tensor.synth import model_names, parse_synth_spec
@@ -159,11 +177,30 @@ def _parse_constraint(text: str) -> str:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_corpus(text: str) -> List[str]:
+    try:
+        return corpus_manager.parse_corpus_ids(text)
+    except corpus_manager.CorpusError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _apply_corpus_cache(args: argparse.Namespace) -> None:
+    """Export ``--corpus-cache`` so this process *and* forked scheduler
+    workers resolve the same on-disk matrix cache."""
+    if getattr(args, "corpus_cache", None) is not None:
+        os.environ[corpus_manager.ENV_CACHE] = str(args.corpus_cache)
+
+
 def _suite_for(args: argparse.Namespace):
-    """The workload suite for ``run``/``sweep``: synth specs, corpus files or
-    a built-in."""
+    """The workload suite for ``run``/``sweep``: synth specs, corpus IDs,
+    MatrixMarket files or a built-in."""
     if getattr(args, "synth", None):
         return synth_suite(args.synth)
+    if getattr(args, "corpus", None):
+        _apply_corpus_cache(args)
+        ids = [entry for group in args.corpus for entry in group]
+        return corpus_manager.corpus_workload_suite(
+            ids, manifest=getattr(args, "corpus_manifest", None))
     if args.matrix:
         return corpus_suite([str(path) for path in args.matrix])
     return {"full": default_suite, "quick": small_suite}[args.suite]()
@@ -172,7 +209,7 @@ def _suite_for(args: argparse.Namespace):
 def _suite_label(args: argparse.Namespace) -> str:
     if getattr(args, "synth", None):
         return "synth"
-    if args.matrix:
+    if getattr(args, "corpus", None) or args.matrix:
         return "corpus"
     return args.suite
 
@@ -191,6 +228,26 @@ def _add_store_argument(parser: argparse.ArgumentParser, *,
                         help="persistent report store directory: completed "
                              "evaluations are served from it and new ones "
                              "persisted to it (created on first use)")
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    """The corpus-selection flags shared by ``run``, ``sweep`` and ``search``."""
+    parser.add_argument("--corpus", action="append", type=_parse_corpus,
+                        default=None, metavar="DATASET:GROUP/NAME,...",
+                        help="evaluate corpus-managed real matrices (DLMC / "
+                             "SuiteSparse; comma-separated IDs with a sticky "
+                             "dataset prefix, repeatable; overrides --suite "
+                             "and --matrix; see docs/CORPUS.md)")
+    parser.add_argument("--corpus-manifest", type=Path, default=None,
+                        metavar="MANIFEST.json",
+                        help="descriptor manifest overlaying the built-in "
+                             "DLMC/SuiteSparse catalogs (pinned checksums, "
+                             "file:// fixtures, private mirrors)")
+    parser.add_argument("--corpus-cache", type=Path, default=None,
+                        metavar="DIR",
+                        help="matrix cache root (default: "
+                             f"${corpus_manager.ENV_CACHE} or "
+                             "~/.cache/repro/corpus)")
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -226,6 +283,7 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                              "model/params columns land in the JSON/CSV "
                              "(repeatable; overrides --suite and --matrix; "
                              f"models: {', '.join(model_names())})")
+    _add_corpus_arguments(parser)
     parser.add_argument("--workloads", default=None, metavar="W1,W2,...",
                         help="restrict to a comma-separated workload subset")
 
@@ -270,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="evaluate seeded sparsity-model workloads instead "
                           "of a built-in suite (repeatable; overrides --suite "
                           f"and --matrix; models: {', '.join(model_names())})")
+    _add_corpus_arguments(run)
     run.add_argument("--kernel", choices=kernel_names(), default="gram",
                      help="kernel to evaluate the workloads under "
                           "(default: gram, the paper's A x A^T)")
@@ -384,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="search over seeded sparsity-model workloads — "
                              "the frontier is reported per model (repeatable; "
                              f"models: {', '.join(model_names())})")
+    _add_corpus_arguments(search)
     search.add_argument("--workloads", default=None, metavar="W1,W2,...",
                         help="restrict to a comma-separated workload subset")
     search.add_argument("--constraint", action="append",
@@ -457,6 +517,50 @@ def build_parser() -> argparse.ArgumentParser:
     gc = store_sub.add_parser(
         "gc", help="prune unreadable/old-schema entries and stale temp files")
     _add_store_argument(gc, required=True)
+
+    corpus = subparsers.add_parser(
+        "corpus", help="manage the real-world matrix cache (DLMC + "
+                       "SuiteSparse; see docs/CORPUS.md)")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def _corpus_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--corpus-manifest", type=Path, default=None,
+                         metavar="MANIFEST.json",
+                         help="descriptor manifest overlaying the built-in "
+                              "catalogs")
+        sub.add_argument("--corpus-cache", type=Path, default=None,
+                         metavar="DIR",
+                         help="matrix cache root (default: "
+                              f"${corpus_manager.ENV_CACHE} or "
+                              "~/.cache/repro/corpus)")
+
+    corpus_list = corpus_sub.add_parser(
+        "list", help="list known matrices and their install state")
+    corpus_list.add_argument("--dataset", choices=corpus_manager.KNOWN_DATASETS,
+                             default=None,
+                             help="restrict the listing to one dataset")
+    _corpus_common(corpus_list)
+    corpus_fetch = corpus_sub.add_parser(
+        "fetch", help="download, verify and install matrices into the cache")
+    corpus_fetch.add_argument("ids", nargs="+", type=_parse_corpus,
+                              metavar="DATASET:GROUP/NAME,...",
+                              help="matrix IDs (comma-separated, sticky "
+                                   "dataset prefix)")
+    corpus_fetch.add_argument("--refresh", action="store_true",
+                              help="re-download even when a cached copy "
+                                   "exists")
+    corpus_fetch.add_argument("--offline", action="store_true",
+                              help="refuse remote URLs (file:// manifests "
+                                   "still work)")
+    _corpus_common(corpus_fetch)
+    corpus_verify = corpus_sub.add_parser(
+        "verify", help="re-hash installed matrices against their install "
+                       "receipts; corrupt files are quarantined")
+    _corpus_common(corpus_verify)
+    corpus_gc = corpus_sub.add_parser(
+        "gc", help="reclaim the re-fetchable cache tiers (downloads, "
+                   "quarantine); installed matrices are kept")
+    _corpus_common(corpus_gc)
     return parser
 
 
@@ -513,9 +617,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"[warning] {experiment.name} is pinned to kernel(s) "
                   f"{pinned}; --kernel {args.kernel} does not apply to it",
                   file=sys.stderr)
-        if ((args.synth or args.matrix) and experiment.needs_context
+        if ((args.synth or args.matrix or args.corpus)
+                and experiment.needs_context
                 and not experiment.uses_context_suite):
-            flag = "--synth" if args.synth else "--matrix"
+            flag = ("--synth" if args.synth
+                    else "--corpus" if args.corpus else "--matrix")
             print(f"[warning] {experiment.name} evaluates its own workload "
                   f"set; {flag} does not apply to it (only the architecture, "
                   f"overbooking target and seed carry over)", file=sys.stderr)
@@ -525,6 +631,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             params[experiment.name].setdefault("max_workers", args.workers)
         if experiment.accepts_use_surrogate and args.no_surrogate:
             params[experiment.name].setdefault("use_surrogate", False)
+        # Corpus-evaluating experiments (table5) resolve dataset IDs through
+        # a manifest; thread --corpus-manifest so private mirrors and the
+        # offline fixtures reach them.
+        if experiment.accepts_param("manifest") and args.corpus_manifest:
+            params[experiment.name]["manifest"] = str(args.corpus_manifest)
     store = _store_for(args)
     if store is not None:
         for experiment in selected:
@@ -532,9 +643,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # "reports" store scope take it as a parameter.
             if experiment.accepts_store and experiment.store_scope == "reports":
                 params[experiment.name].setdefault("store", store)
+    _apply_corpus_cache(args)
     context = None
     if any(experiment.needs_context for experiment in selected):
-        if args.matrix or args.synth:
+        if args.matrix or args.synth or args.corpus:
             context = ExperimentContext(
                 suite=_suite_for(args),
                 overbooking_target=args.overbooking_target,
@@ -818,17 +930,71 @@ def _cmd_store(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled store command {args.store_command!r}")
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    _apply_corpus_cache(args)
+    cache = corpus_manager.CorpusCache(args.corpus_cache)
+    catalog = corpus_manager.resolve_catalog(args.corpus_manifest)
+
+    if args.corpus_command == "list":
+        rows = []
+        for descriptor in catalog:
+            if args.dataset and descriptor.dataset != args.dataset:
+                continue
+            installed = cache.installed_path(descriptor)
+            rows.append((descriptor.matrix_id, descriptor.format,
+                         "yes" if installed is not None else "-",
+                         "pinned" if descriptor.sha256 else "first-use"))
+        print(format_table(["matrix", "format", "installed", "checksum"],
+                           rows, title=f"Corpus catalog ({len(rows)} "
+                                       f"matrices; cache: {cache.root})"))
+        return 0
+    if args.corpus_command == "fetch":
+        ids = [entry for group in args.ids for entry in group]
+        failures = 0
+        for matrix_id in ids:
+            descriptor = catalog.get(matrix_id)
+            try:
+                path = cache.fetch(descriptor, refresh=args.refresh,
+                                   offline=args.offline or None)
+            except corpus_manager.CorpusError as error:
+                print(f"error: {error}", file=sys.stderr)
+                failures += 1
+                continue
+            print(f"[corpus] {matrix_id} -> {path}")
+        return 1 if failures else 0
+    if args.corpus_command == "verify":
+        outcome = cache.verify()
+        print(f"checked {outcome.checked} matrice(s): {outcome.ok} ok, "
+              f"{len(outcome.missing)} missing receipt(s), "
+              f"{len(outcome.corrupt)} corrupt (quarantined)")
+        for path in outcome.corrupt:
+            print(f"  corrupt: {path}", file=sys.stderr)
+        return 1 if outcome.corrupt else 0
+    if args.corpus_command == "gc":
+        outcome = cache.gc()
+        print(f"removed {outcome.removed_downloads} cached download(s) and "
+              f"{outcome.removed_quarantined} quarantined file(s), reclaimed "
+              f"{outcome.reclaimed_bytes / 1024:.1f} KiB")
+        return 0
+    raise AssertionError(f"unhandled corpus command {args.corpus_command!r}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "sweep": _cmd_sweep,
                 "merge": _cmd_merge, "status": _cmd_status,
                 "search": _cmd_search, "serve": _cmd_serve,
-                "store": _cmd_store}
+                "store": _cmd_store, "corpus": _cmd_corpus}
     try:
         return handlers[args.command](args)
     except StoreError as error:
         # Schema mismatches, corrupt entries, missing stores: user-facing
         # conditions with actionable messages, not tracebacks.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except corpus_manager.CorpusError as error:
+        # Unknown matrix IDs, unreachable mirrors with a cold cache, failed
+        # checksums: likewise user-facing.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -50,7 +50,7 @@ import numpy as np
 #: The experiment modules, in the paper's artifact order.  ``discover``
 #: imports them; each registers itself via the decorator below.
 EXPERIMENT_MODULES = (
-    "table1", "table2", "table3", "table4",
+    "table1", "table2", "table3", "table4", "table5",
     "fig1", "fig5", "fig7", "fig8", "fig9",
     "fig10", "fig11", "fig12", "fig13", "fig14",
 )

@@ -316,6 +316,8 @@ def plan_grid(suite: Optional[WorkloadSuite] = None, *,
               pe_scales: Sequence[float] = (1.0,),
               kernels: Sequence[str] = ("gram",),
               synth: Optional[Sequence] = None,
+              corpus: Optional[Sequence[str]] = None,
+              corpus_manifest=None,
               base_architecture: Optional[ArchitectureConfig] = None,
               workloads: Optional[Sequence[str]] = None) -> GridPlan:
     """Resolve a sweep grid into its deterministic :class:`GridPlan`.
@@ -329,12 +331,19 @@ def plan_grid(suite: Optional[WorkloadSuite] = None, *,
         raise ValueError("y_values must not be empty")
     if not kernels:
         raise ValueError("kernels must not be empty")
+    if sum(axis is not None for axis in (suite, synth, corpus)) > 1:
+        raise ValueError(
+            "pass exactly one of a suite, synth specs, or corpus ids")
     if synth is not None:
-        if suite is not None:
-            raise ValueError("pass either a suite or synth specs, not both")
         suite = synth_suite(synth)
+    elif corpus is not None:
+        from repro.tensor.corpus import corpus_workload_suite
+
+        suite = corpus_workload_suite(list(corpus),
+                                      manifest=corpus_manifest)
     elif suite is None:
-        raise ValueError("a grid needs a suite (or synth specs)")
+        raise ValueError("a grid needs a suite (or synth specs, or corpus "
+                         "ids)")
     base = base_architecture or scaled_default_config()
     if workloads is not None:
         suite = suite.subset(list(workloads))
@@ -443,6 +452,8 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
                pe_scales: Sequence[float] = (1.0,),
                kernels: Sequence[str] = ("gram",),
                synth: Optional[Sequence] = None,
+               corpus: Optional[Sequence[str]] = None,
+               corpus_manifest=None,
                base_architecture: Optional[ArchitectureConfig] = None,
                workloads: Optional[Sequence[str]] = None,
                scheduler: Optional[EvaluationScheduler] = None,
@@ -457,7 +468,12 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
     a suite: a sequence of :class:`~repro.tensor.synth.SynthSpec`s (or CLI
     strings ``"model:param=value,..."``) swept as one synthetic suite, with
     each row carrying ``model`` / ``model_params`` columns in the JSON/CSV
-    artifacts.  All grid points are batched through one scheduler prefetch;
+    artifacts.  ``corpus`` instead sweeps *real* matrices: a sequence of
+    ``dataset:group/name`` IDs resolved through the corpus cache
+    (:func:`~repro.tensor.corpus.corpus_workload_suite`), with
+    ``corpus_manifest`` overlaying a descriptor manifest (the offline CI
+    fixtures are one).  All grid points are batched through one scheduler
+    prefetch;
     pass ``max_workers=1`` (or a pre-configured ``scheduler``) to force
     serial evaluation.
 
@@ -479,6 +495,7 @@ def sweep_grid(suite: Optional[WorkloadSuite] = None, *,
                          "(CLI: --resume requires --store)")
     plan = plan_grid(suite, y_values=y_values, glb_scales=glb_scales,
                      pe_scales=pe_scales, kernels=kernels, synth=synth,
+                     corpus=corpus, corpus_manifest=corpus_manifest,
                      base_architecture=base_architecture, workloads=workloads)
     scheduler = _store_aware_scheduler(scheduler, store, max_workers,
                                        use_batch=use_batch)

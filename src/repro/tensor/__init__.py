@@ -19,6 +19,9 @@ about sparse tensors:
   exactly reproducible experiment axis.
 * :mod:`repro.tensor.suite` — the 22-workload synthetic evaluation suite
   mirroring Table 2 of the paper, plus MatrixMarket corpus suites.
+* :mod:`repro.tensor.corpus` — the real-world corpus manager: DLMC +
+  SuiteSparse dataset descriptors, an offline-first checksummed matrix
+  cache with injectable transports, and corpus-addressed workload suites.
 * :mod:`repro.tensor.io` — MatrixMarket-style persistence.
 """
 
@@ -51,6 +54,16 @@ from repro.tensor.suite import (
     synth_suite,
 )
 from repro.tensor.synth import SynthSpec, model_names, parse_synth_spec
+from repro.tensor.corpus import (
+    CorpusCache,
+    CorpusError,
+    InMemoryTransport,
+    MatrixDescriptor,
+    builtin_catalog,
+    corpus_workload_suite,
+    load_manifest,
+    parse_corpus_ids,
+)
 
 __all__ = [
     "Shape",
@@ -83,4 +96,12 @@ __all__ = [
     "SynthSpec",
     "model_names",
     "parse_synth_spec",
+    "CorpusCache",
+    "CorpusError",
+    "InMemoryTransport",
+    "MatrixDescriptor",
+    "builtin_catalog",
+    "corpus_workload_suite",
+    "load_manifest",
+    "parse_corpus_ids",
 ]

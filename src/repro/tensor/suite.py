@@ -461,7 +461,18 @@ def corpus_suite(paths: Sequence, *, seed: int = 2023) -> WorkloadSuite:
     if not paths:
         raise ValueError("corpus_suite needs at least one MatrixMarket path")
     resolved = tuple(str(Path(p).resolve()) for p in paths)
-    specs = [WorkloadSpec.from_matrix_market(path) for path in resolved]
+    duplicates = sorted({path for path in resolved if resolved.count(path) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate corpus path(s): {', '.join(duplicates)}; each matrix "
+            f"may appear once per suite")
+    specs = []
+    for path in resolved:
+        try:
+            specs.append(WorkloadSpec.from_matrix_market(path))
+        except (OSError, ValueError) as error:
+            raise ValueError(
+                f"failed to load corpus matrix {path}: {error}") from error
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
         raise ValueError(f"corpus filenames must yield unique workload "
@@ -504,18 +515,27 @@ def suite_from_token(token: tuple) -> "WorkloadSuite":
     use this to reconstruct bit-identical suites from seeds; see
     :mod:`repro.experiments.scheduler`.
 
-    Three scope layouts exist: a scope *string* naming a built-in canonical
+    Four scope layouts exist: a scope *string* naming a built-in canonical
     suite (``"table2"``, ``"small"``), the tuple ``("mtx", paths)`` of a
     :func:`corpus_suite` — rebuilt by re-reading the MatrixMarket files at
-    the recorded absolute paths — and the tuple ``("synth", spec tokens)`` of
+    the recorded absolute paths — the tuple ``("synth", spec tokens)`` of
     a :func:`synth_suite`, rebuilt by regenerating every matrix from its
-    ``(model, params, seed)`` identity.
+    ``(model, params, seed)`` identity, and the tuple ``("corpus",
+    matrix-ids, manifest)`` of a
+    :func:`~repro.tensor.corpus.corpus_workload_suite`, rebuilt by resolving
+    the recorded dataset IDs through the corpus cache (whose root workers
+    find via ``$REPRO_CORPUS_CACHE``).
 
     Raises ``KeyError`` for tokens whose scope is not a canonical suite or
     whose order names unknown workloads.
     """
     scope, seed, order = token
-    if isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "mtx":
+    if isinstance(scope, tuple) and len(scope) == 3 and scope[0] == "corpus":
+        from repro.tensor import corpus
+
+        suite = corpus.corpus_workload_suite(
+            list(scope[1]), manifest=scope[2], seed=int(seed))
+    elif isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "mtx":
         suite = corpus_suite(scope[1], seed=int(seed))
     elif isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "synth":
         from repro.tensor import synth

@@ -33,6 +33,14 @@ Sites
     worker: alive, holding leases, never making progress.  Survivors must
     observe the stalled heartbeat and reclaim.  (Stays armed while its
     budget is positive; it does not decrement per renewal skipped.)
+``corpus.fetch``
+    Raise a transient :class:`OSError` from the corpus cache's download
+    path, before the transport is even consulted — a dead network.  The
+    cache must degrade to an already-installed copy with a warning, or
+    fail with a clear error when the matrix is absent everywhere.
+``corpus.corrupt``
+    Truncate a completed corpus download before SHA-256 verification — a
+    torn transfer.  Verification must quarantine it and re-fetch.
 
 Tests install an injector programmatically with :func:`set_injector`; the
 environment is only read once, lazily, in processes that never called it.
@@ -52,7 +60,7 @@ _PERSISTENT_SITES = frozenset({"heartbeat.stall"})
 
 _KNOWN_SITES = frozenset({
     "store.load", "store.store", "store.corrupt", "shard.kill",
-    "heartbeat.stall",
+    "heartbeat.stall", "corpus.fetch", "corpus.corrupt",
 })
 
 
@@ -112,9 +120,9 @@ class FaultInjector:
             raise OSError(f"injected transient fault at {site} "
                           f"(firing #{self.fired[site]})")
 
-    def maybe_corrupt(self, path) -> bool:
-        """Truncate the file at ``path`` to half, if ``store.corrupt`` fires."""
-        if not self.consume("store.corrupt"):
+    def maybe_corrupt(self, path, site: str = "store.corrupt") -> bool:
+        """Truncate the file at ``path`` to half, if ``site`` fires."""
+        if not self.consume(site):
             return False
         data = path.read_bytes()
         path.write_bytes(data[:max(1, len(data) // 2)])

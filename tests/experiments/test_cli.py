@@ -46,7 +46,7 @@ class TestRun:
         assert code == 0
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         names = [entry["experiment"] for entry in manifest["experiments"]]
-        assert len(names) == 14
+        assert len(names) == 15
         for entry in manifest["experiments"]:
             artifact = json.loads((tmp_path / entry["path"]).read_text())
             assert artifact["experiment"] == entry["experiment"]

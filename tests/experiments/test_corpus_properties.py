@@ -1,0 +1,75 @@
+"""Property tests: corpus suite streams are stable under subset/reorder.
+
+Paired operands (the ``b`` side of spmspm/spmm) derive from per-workload
+streams keyed by each workload's position in the *parent* suite, so any
+subset, in any order, must reproduce the parent's matrices and paired
+operands bit for bit — otherwise two sweeps over overlapping corpus slices
+would disagree about the same matrix.
+"""
+
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.tensor import corpus
+from repro.tensor.corpus import corpus_workload_suite
+
+FIXTURES = Path(__file__).resolve().parents[1] / "data" / "corpus"
+MANIFEST = FIXTURES / "manifest.json"
+
+ALL_FIXTURE_IDS = (
+    "dlmc:fixture/magnitude-080",
+    "dlmc:fixture/random-050",
+    "suitesparse:fixture/fem-band",
+    "suitesparse:fixture/powerlaw-graph",
+    "suitesparse:fixture/cant-mini",
+)
+
+_PROPERTY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _hermetic_corpus_env(tmp_path_factory):
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.setenv(corpus.ENV_CACHE,
+                       str(tmp_path_factory.mktemp("corpus-cache")))
+        patcher.setenv(corpus.ENV_OFFLINE, "1")
+        yield
+
+
+def _subset_ids():
+    """A non-empty slice of the fixture IDs in a random order."""
+    return st.permutations(list(ALL_FIXTURE_IDS)).flatmap(
+        lambda ids: st.integers(1, len(ids)).map(lambda k: ids[:k]))
+
+
+@_PROPERTY_SETTINGS
+@given(ids=_subset_ids())
+def test_subset_and_reorder_preserve_matrices_and_streams(ids):
+    parent = corpus_workload_suite(list(ALL_FIXTURE_IDS), manifest=MANIFEST)
+    names = [matrix_id.rsplit("/", 1)[-1] for matrix_id in ids]
+    subset = parent.subset(names)
+    assert subset.names == names
+    for name in names:
+        assert (subset.matrix(name).csr != parent.matrix(name).csr).nnz == 0
+        assert (subset.paired_matrix(name).csr !=
+                parent.paired_matrix(name).csr).nnz == 0
+
+
+@_PROPERTY_SETTINGS
+@given(ids=_subset_ids())
+def test_directly_built_subsuite_matches_the_parent_slice(ids):
+    """Building a fresh suite from a subset of IDs reproduces the primary
+    matrices exactly (they come from disk, not from stream position)."""
+    parent = corpus_workload_suite(list(ALL_FIXTURE_IDS), manifest=MANIFEST)
+    fresh = corpus_workload_suite(list(ids), manifest=MANIFEST)
+    for matrix_id in ids:
+        name = matrix_id.rsplit("/", 1)[-1]
+        assert (fresh.matrix(name).csr != parent.matrix(name).csr).nnz == 0

@@ -7,9 +7,9 @@ import pytest
 from repro.experiments import registry
 from repro.experiments.runner import ExperimentContext
 
-EXPECTED_NAMES = ["table1", "table2", "table3", "table4", "fig1", "fig5",
-                  "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-                  "fig14"]
+EXPECTED_NAMES = ["table1", "table2", "table3", "table4", "table5", "fig1",
+                  "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                  "fig13", "fig14"]
 
 
 @pytest.fixture(scope="module")

@@ -110,7 +110,7 @@ class TestSynthSweepParallel:
             assert "n=" in row.model_params
 
     def test_suite_and_synth_are_mutually_exclusive(self):
-        with pytest.raises(ValueError, match="not both"):
+        with pytest.raises(ValueError, match="exactly one of"):
             sweep_grid(synth_suite(SPECS), synth=SPECS)
         with pytest.raises(ValueError, match="needs a suite"):
             sweep_grid()

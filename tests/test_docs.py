@@ -30,6 +30,7 @@ DOCUMENTED_MODULES = (
     "repro.experiments.shard",
     "repro.tensor.synth",
     "repro.tensor.kernels",
+    "repro.tensor.corpus",
     "repro.utils.faults",
     "repro.utils.retry",
 )
